@@ -1,0 +1,75 @@
+"""Ablation: how much does the aggregation-policy choice matter?
+
+DESIGN.md calls out policy flexibility as one of UnifyFL's load-bearing design
+choices (it is the "Flexibility" column of Table 2 and the mechanism behind
+Figure 7).  This ablation runs the same Sync federation four times, with every
+organisation using one of *Self*, *All*, *Top-2* and *Above-Average*, and
+compares final accuracy and the number of peer models merged per round.
+
+Expected shape: *Self* (no collaboration) is the clear loser; the three
+collaborative policies land in the same band, with *All* merging the most
+models per round and the score-filtered policies merging fewer without losing
+accuracy — which is exactly why offering the choice (rather than hard-coding
+*All*, as the related systems do) is defensible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import edge_experiment, run_once
+from repro.core.config import edge_cluster_configs
+from repro.core.runner import run_experiment
+
+
+POLICIES = ["self", "all", "top_k", "above_average"]
+
+
+def test_ablation_aggregation_policies(benchmark, report):
+    rounds = 6
+
+    def run():
+        results = {}
+        for policy in POLICIES:
+            clusters = edge_cluster_configs(num_clients=3, policy=policy, policy_k=2)
+            results[policy] = run_experiment(
+                edge_experiment(
+                    f"ablation-policy-{policy}",
+                    mode="sync",
+                    alpha=0.3,
+                    rounds=rounds,
+                    seed=14,
+                    clusters=clusters,
+                )
+            )
+        return results
+
+    results = run_once(benchmark, run)
+
+    lines = ["Ablation — aggregation policy (Sync, NIID alpha=0.3, 3 organisations)"]
+    lines.append(f"{'Policy':<16}{'Mean Glob Acc %':>16}{'Mean Loc Acc %':>16}{'Models merged/round':>22}")
+    lines.append("-" * 70)
+    merged_per_round = {}
+    for policy, result in results.items():
+        merged = np.mean([r.models_pulled for a in result.aggregators for r in a.history[1:]])
+        merged_per_round[policy] = merged
+        mean_local = np.mean([a.local_accuracy for a in result.aggregators])
+        lines.append(
+            f"{policy:<16}{result.mean_global_accuracy * 100:>16.2f}{mean_local * 100:>16.2f}{merged:>22.2f}"
+        )
+    report("\n".join(lines))
+
+    collaborative = {p: results[p] for p in ("all", "top_k", "above_average")}
+    # Collaboration beats isolation for every collaborative policy.
+    for policy, result in collaborative.items():
+        assert result.mean_global_accuracy > results["self"].mean_global_accuracy
+    # "All" merges at least as many peer models per round as the filtered policies.
+    assert merged_per_round["all"] >= merged_per_round["top_k"] - 1e-9
+    assert merged_per_round["all"] >= merged_per_round["above_average"] - 1e-9
+    # The filtered policies stay within a reasonable band of "All" — filtering by
+    # score does not destroy accuracy (the premise of offering the choice).
+    best = max(r.mean_global_accuracy for r in collaborative.values())
+    worst = min(r.mean_global_accuracy for r in collaborative.values())
+    assert best - worst < 0.30
+    # "Self" merges no peer models at all.
+    assert merged_per_round["self"] == 0.0

@@ -1,0 +1,127 @@
+"""Figure 3 — the efficiency vs trustworthiness trade-off.
+
+Figure 3 positions centralized (multilevel) aggregation at the efficient /
+less-trustworthy end, peer-to-peer aggregation at the trustworthy /
+inefficient end, and motivates UnifyFL as the balance between them.  This
+benchmark quantifies both axes on the same workload:
+
+* **Efficiency** — the federation makespan and the number of model
+  validations (scoring evaluations) each organisation performs per round.
+* **Trustworthiness** — whether a single third party controls aggregation
+  (single point of failure) and what fraction of circulating models each
+  organisation independently validates.
+
+Expected shape: centralized has the least validation work but a single point
+of trust; peer-to-peer validates everything everywhere at the highest cost;
+UnifyFL sits between on validation cost while removing the single point of
+trust (majority scoring, no central aggregator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from benchmarks.conftest import edge_experiment, run_once
+from repro.core.config import ClusterConfig
+from repro.core.runner import ExperimentRunner
+from repro.simnet.hardware import DOCKER_CONTAINER, EDGE_CPU_NODE
+
+
+@dataclass
+class ArchitecturePoint:
+    """One point in the efficiency/trust plane."""
+
+    name: str
+    makespan: float
+    validations_per_org_per_round: float
+    has_central_point_of_trust: bool
+    fraction_models_validated_per_org: float
+
+
+def test_figure3_efficiency_vs_trust(benchmark, report):
+    rounds = 4
+    # Five organisations so the majority scorer subset (N//2 + 1 = 3) is strictly
+    # smaller than "everyone validates everyone" (N - 1 = 4), which is where
+    # UnifyFL's middle ground in Figure 3 comes from.
+    clusters = [
+        ClusterConfig(
+            name=f"org{i + 1}",
+            num_clients=2,
+            aggregation_policy="top_k",
+            policy_k=2,
+            aggregator_profile=EDGE_CPU_NODE,
+            client_profile=DOCKER_CONTAINER,
+        )
+        for i in range(5)
+    ]
+
+    def run():
+        runner = ExperimentRunner(
+            edge_experiment("figure3-unifyfl", mode="sync", rounds=rounds, seed=10, clusters=clusters)
+        )
+        unifyfl_result = runner.run()
+        baseline = runner.run_centralized_baseline(rounds=rounds)
+        return runner, unifyfl_result, baseline
+
+    runner, unifyfl_result, baseline = run_once(benchmark, run)
+
+    num_orgs = len(runner.aggregators)
+    majority = num_orgs // 2 + 1
+
+    # UnifyFL's measured scoring load: scored models per aggregator per round.
+    scored = [
+        sum(record.models_scored for record in aggregator.history) / rounds
+        for aggregator in runner.aggregators
+    ]
+    unifyfl_point = ArchitecturePoint(
+        name="UnifyFL (decentralized + majority scoring)",
+        makespan=unifyfl_result.max_total_time,
+        validations_per_org_per_round=sum(scored) / num_orgs,
+        has_central_point_of_trust=False,
+        fraction_models_validated_per_org=majority / num_orgs,
+    )
+    centralized_point = ArchitecturePoint(
+        name="Centralized multilevel (HBFL oracle)",
+        makespan=baseline.total_time,
+        validations_per_org_per_round=0.0,
+        has_central_point_of_trust=True,
+        fraction_models_validated_per_org=0.0,
+    )
+    # Peer-to-peer: every organisation validates every other organisation's
+    # model every round; its makespan is the sync makespan plus the extra
+    # validation work that UnifyFL's majority sampling avoids.
+    extra_validations = (num_orgs - 1) - unifyfl_point.validations_per_org_per_round
+    per_validation_cost = runner.timing_model.scoring_time(runner.config.clusters[0], 1)
+    p2p_point = ArchitecturePoint(
+        name="Peer-to-peer (validate everything)",
+        makespan=unifyfl_result.max_total_time + rounds * extra_validations * per_validation_cost,
+        validations_per_org_per_round=float(num_orgs - 1),
+        has_central_point_of_trust=False,
+        fraction_models_validated_per_org=1.0,
+    )
+
+    points = [centralized_point, unifyfl_point, p2p_point]
+    lines = ["Figure 3 — efficiency vs trustworthiness (measured)"]
+    lines.append(
+        f"{'Architecture':<44}{'Makespan':>10}{'Valid/org/rnd':>14}{'Central trust':>14}{'Coverage':>10}"
+    )
+    lines.append("-" * 92)
+    for point in points:
+        lines.append(
+            f"{point.name:<44}{point.makespan:>10.0f}{point.validations_per_org_per_round:>14.2f}"
+            f"{str(point.has_central_point_of_trust):>14}{point.fraction_models_validated_per_org:>10.2f}"
+        )
+    report("\n".join(lines))
+
+    # Centralized: no validation work but a central point of trust.
+    assert centralized_point.has_central_point_of_trust
+    assert centralized_point.validations_per_org_per_round == 0.0
+    # Peer-to-peer: full validation coverage at the highest validation cost.
+    assert p2p_point.fraction_models_validated_per_org == 1.0
+    assert p2p_point.validations_per_org_per_round > unifyfl_point.validations_per_org_per_round
+    assert p2p_point.makespan >= unifyfl_point.makespan
+    # UnifyFL: removes the central point of trust at a validation cost strictly
+    # between the two extremes — the balance Figure 3 argues for.
+    assert not unifyfl_point.has_central_point_of_trust
+    assert 0.0 < unifyfl_point.validations_per_org_per_round < p2p_point.validations_per_org_per_round
+    assert 0.0 < unifyfl_point.fraction_models_validated_per_org < 1.0

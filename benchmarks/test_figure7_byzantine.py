@@ -1,0 +1,90 @@
+"""Figure 7 — naive vs smart policies under a Byzantine attacker.
+
+The paper's adversarial scenario: two honest aggregators plus one bad actor
+submitting malicious models.  With the naive policy (pick the top-3 models
+regardless of reliability) the poisoned model enters every aggregation; with
+the smart policy (aggregate only above-average models) the malicious
+submissions are filtered out and accuracy recovers.
+
+Reproduced shape: the honest aggregators' accuracy under the smart policy ends
+at least as high as under the naive policy, and the attacker's submissions
+receive lower scores than honest submissions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.config import ClusterConfig, ExperimentConfig, cifar10_workload
+from repro.core.runner import ExperimentRunner
+
+
+def _byzantine_config(policy: str, policy_k: int, seed: int = 11, rounds: int = 12) -> ExperimentConfig:
+    clusters = [
+        ClusterConfig(name="honest1", num_clients=3, aggregation_policy=policy, policy_k=policy_k),
+        ClusterConfig(name="honest2", num_clients=3, aggregation_policy=policy, policy_k=policy_k),
+        ClusterConfig(
+            name="attacker",
+            num_clients=3,
+            aggregation_policy=policy,
+            policy_k=policy_k,
+            malicious=True,
+            attack="sign_flip",
+        ),
+    ]
+    return ExperimentConfig(
+        name=f"figure7-{policy}",
+        workload=cifar10_workload(rounds=rounds, samples_per_class=30, image_size=8, learning_rate=0.05),
+        clusters=clusters,
+        mode="sync",
+        partitioning="iid",
+        rounds=rounds,
+        seed=seed,
+    )
+
+
+def _honest_series(result):
+    honest = [result.aggregator("honest1"), result.aggregator("honest2")]
+    return np.mean([agg.accuracy_series() for agg in honest], axis=0)
+
+
+def test_figure7_naive_vs_smart_policy(benchmark, report):
+    def run():
+        naive_runner = ExperimentRunner(_byzantine_config("top_k", policy_k=3))
+        naive = naive_runner.run()
+        smart_runner = ExperimentRunner(_byzantine_config("above_average", policy_k=3))
+        smart = smart_runner.run()
+        return naive_runner, naive, smart_runner, smart
+
+    naive_runner, naive, smart_runner, smart = run_once(benchmark, run)
+
+    naive_series = _honest_series(naive)
+    smart_series = _honest_series(smart)
+    times = naive.aggregator("honest1").time_series()
+
+    lines = ["Figure 7 — honest-aggregator accuracy over time under a sign-flip attacker"]
+    lines.append(f"{'Round':>6}{'Sim time (s)':>14}{'Naive Top-3 %':>16}{'Smart AboveAvg %':>18}")
+    lines.append("-" * 54)
+    for i, (t, naive_acc, smart_acc) in enumerate(zip(times, naive_series, smart_series), start=1):
+        lines.append(f"{i:>6}{t:>14.0f}{naive_acc * 100:>16.2f}{smart_acc * 100:>18.2f}")
+    lines.append("")
+    lines.append(
+        "Paper (Figure 7): the naive policy keeps absorbing the malicious model and stalls, "
+        "while the above-average policy excludes it and recovers to a clearly higher accuracy."
+    )
+    report("\n".join(lines))
+
+    # Final accuracy: the smart policy clearly beats the naive policy, which keeps
+    # absorbing the poisoned model (the Figure 7(a) vs 7(b) separation).
+    assert smart_series[-1] > naive_series[-1] + 0.1
+    # The smart federation learns something real (well above the 10% floor).
+    assert smart_series[-1] > 0.3
+
+    # The attacker's models receive scores no better than honest ones under the smart run.
+    records = smart_runner.chain.call("unifyfl", "getLatestModelsWithScores")
+    attacker_address = smart_runner.accounts["attacker"].address
+    attacker_scores = [s for r in records if r["submitter"] == attacker_address for s in r["scores"].values()]
+    honest_scores = [s for r in records if r["submitter"] != attacker_address for s in r["scores"].values()]
+    assert attacker_scores and honest_scores
+    assert np.mean(attacker_scores) <= np.mean(honest_scores) + 1e-9

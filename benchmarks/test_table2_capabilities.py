@@ -1,0 +1,28 @@
+"""Table 2 — capability comparison of BCFL, HBFL, ChainFL and UnifyFL.
+
+The UnifyFL row is derived from the implemented code (orchestrators and policy
+registries) so the regenerated table cannot drift from the implementation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.capabilities import capability_table, format_capability_table, unifyfl_capabilities
+
+
+def test_table2_framework_capabilities(benchmark, report):
+    rows = run_once(benchmark, capability_table)
+    report("Table 2 — framework comparison\n" + format_capability_table())
+
+    by_name = {row.name: row for row in rows}
+    unifyfl = by_name["UnifyFL"]
+    assert unifyfl == unifyfl_capabilities()
+    # UnifyFL is the only hierarchical cross-silo framework with both modes and
+    # flexible policies — the differentiation Table 2 makes.
+    assert unifyfl.fl_structure == "hierarchical"
+    assert unifyfl.fl_type == "cross-silo"
+    assert set(unifyfl.orchestration) == {"sync", "async"}
+    assert unifyfl.flexible_policies
+    for other in ("BCFL", "HBFL", "ChainFL"):
+        assert by_name[other].orchestration == ["sync"]
+        assert not by_name[other].flexible_policies

@@ -1,0 +1,72 @@
+"""Table 3 — properties of the Sync and Async orchestration modes.
+
+The paper's Table 3 is qualitative (idle time high vs low, straggler impact
+high vs low, access to all weights, weight-similarity scoring support).  This
+benchmark backs every row with a measurement from two otherwise identical
+edge-cluster runs — one Sync, one Async.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import edge_experiment, run_once
+from repro.core.capabilities import sync_async_comparison
+from repro.core.config import ExperimentConfig
+from repro.core.runner import ExperimentRunner, run_experiment
+
+
+def test_table3_sync_vs_async_properties(benchmark, report):
+    def run():
+        sync_result = run_experiment(edge_experiment("table3-sync", mode="sync", rounds=4, seed=2))
+        async_result = run_experiment(edge_experiment("table3-async", mode="async", rounds=4, seed=2))
+        return sync_result, async_result
+
+    sync_result, async_result = run_once(benchmark, run)
+
+    sync_idle = sum(a.idle_time for a in sync_result.aggregators)
+    async_idle = sum(a.idle_time for a in async_result.aggregators)
+    sync_models_per_round = np.mean(
+        [r.models_pulled for a in sync_result.aggregators for r in a.history[1:]]
+    )
+    async_models_per_round = np.mean(
+        [r.models_pulled for a in async_result.aggregators for r in a.history[1:]]
+    )
+
+    table = sync_async_comparison()
+    lines = ["Table 3 — Sync vs Async (measured on the edge-cluster workload)"]
+    lines.append(f"{'Property':<32}{'Sync':>18}{'Async':>18}")
+    lines.append("-" * 68)
+    lines.append(f"{'Idle time (s, total)':<32}{sync_idle:>18.0f}{async_idle:>18.0f}")
+    lines.append(
+        f"{'Makespan (s)':<32}{sync_result.max_total_time:>18.0f}{async_result.max_total_time:>18.0f}"
+    )
+    lines.append(
+        f"{'Peer models seen per round':<32}{sync_models_per_round:>18.2f}{async_models_per_round:>18.2f}"
+    )
+    for key, row in table.items():
+        lines.append(f"{key:<32}{row['sync']:>18}{row['async']:>18}")
+    report("\n".join(lines))
+
+    # Idle time: high in Sync, (near) zero in Async.
+    assert sync_idle > async_idle
+    assert async_idle == 0.0
+    # Async is faster end to end.
+    assert async_result.max_total_time < sync_result.max_total_time
+    # Sync guarantees access to every peer's weights once the pipeline is warm;
+    # Async does not necessarily (staggered visibility).
+    assert sync_models_per_round >= async_models_per_round
+    # Weight-similarity (MultiKRUM) scoring is rejected in Async mode by construction.
+    try:
+        ExperimentConfig(
+            name="invalid",
+            workload=edge_experiment("x", rounds=2).workload,
+            clusters=edge_experiment("x", rounds=2).clusters,
+            mode="async",
+            scoring_algorithm="multikrum",
+            rounds=2,
+        )
+        raised = False
+    except ValueError:
+        raised = True
+    assert raised

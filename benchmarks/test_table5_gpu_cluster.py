@@ -1,0 +1,216 @@
+"""Table 5 — the Tiny-ImageNet workload on the GPU cluster (Runs 1-9).
+
+The paper's Table 5 is a 9-run sweep over orchestration mode, partitioning,
+aggregation strategy, scoring algorithm and per-aggregator policies, on a
+4-aggregator GPU testbed.  Each test below regenerates one group of runs at
+reduced scale and checks the shape the paper reports:
+
+* Run 1 vs Run 2 — Async UnifyFL reaches accuracy comparable to the HBFL
+  oracle baseline at a clearly lower runtime (paper: ~4100 s vs ~6200 s).
+* Runs 3 & 4 — FedAvg-only and mixed FedAvg/FedYogi federations both work
+  under the hardest partitioning (α = 0.1).
+* Runs 5 & 6 — heterogeneous per-aggregator policies coexist; the
+  non-collaborating *Self* aggregator falls behind its collaborating peers.
+* Run 7 — MultiKRUM scoring gives results comparable to accuracy scoring.
+* Runs 8 & 9 — under IID data, Sync and Async reach similar accuracy but
+  Async finishes substantially earlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import GPU_ROUNDS, gpu_experiment, run_once
+from repro.core.config import gpu_cluster_configs
+from repro.core.results import format_run_table
+from repro.core.runner import ExperimentRunner, run_experiment
+
+
+def test_table5_run1_run2_baseline_vs_async(benchmark, report):
+    config = gpu_experiment("table5-run2-async-all", mode="async", alpha=0.5, seed=3)
+    runner = ExperimentRunner(config)
+
+    def run():
+        baseline = runner.run_centralized_baseline(rounds=GPU_ROUNDS)
+        unifyfl = ExperimentRunner(gpu_experiment("table5-run2-async-all", mode="async", alpha=0.5, seed=3)).run()
+        return baseline, unifyfl
+
+    baseline, unifyfl = run_once(benchmark, run)
+
+    lines = ["Table 5 Run 1 (HBFL baseline) vs Run 2 (Async UnifyFL, Pick All)"]
+    lines.append(f"{'Run':<28}{'Global Acc %':>14}{'Time (s)':>12}")
+    lines.append("-" * 54)
+    lines.append(f"{'Run 1: HBFL baseline':<28}{baseline.global_accuracy * 100:>14.2f}{baseline.total_time:>12.0f}")
+    lines.append(
+        f"{'Run 2: Async UnifyFL':<28}{unifyfl.mean_global_accuracy * 100:>14.2f}{unifyfl.max_total_time:>12.0f}"
+    )
+    lines.append("")
+    lines.append(format_run_table(unifyfl))
+    lines.append("")
+    lines.append("Paper: baseline 36.8 % in 6230 s vs Async UnifyFL ~34 % in ~4100 s.")
+    report("\n".join(lines))
+
+    # Comparable accuracy (within a few points at this scale)...
+    assert unifyfl.mean_global_accuracy >= baseline.global_accuracy - 0.15
+    # ...at a clearly lower runtime (the paper's ~0.66x; accept anything < 0.9x).
+    assert unifyfl.max_total_time < 0.9 * baseline.total_time
+    # Global model should not trail the locally aggregated models.
+    for aggregator in unifyfl.aggregators:
+        assert aggregator.global_accuracy >= aggregator.local_accuracy - 0.08
+
+
+def test_table5_run3_run4_strategy_flexibility(benchmark, report):
+    # The paper's hardest partitioning is Dirichlet alpha = 0.1 over 200 classes.
+    # At this scale (10 classes, 4 silos) alpha = 0.1 leaves silos with a single
+    # class and nothing can be learned; alpha = 0.3 reproduces the intended
+    # "severely skewed" regime (documented in EXPERIMENTS.md).
+    hard_alpha = 0.3
+
+    def run():
+        fedavg_only = run_experiment(
+            gpu_experiment(
+                "table5-run3-fedavg",
+                mode="async",
+                alpha=hard_alpha,
+                seed=4,
+                clusters=gpu_cluster_configs(policies=[("top_k", 2)] * 4, scoring_policies=["mean"] * 4),
+            )
+        )
+        mixed = run_experiment(
+            gpu_experiment(
+                "table5-run4-mixed-fedyogi",
+                mode="async",
+                alpha=hard_alpha,
+                seed=4,
+                clusters=gpu_cluster_configs(
+                    strategies=["fedavg", "fedyogi", "fedavg", "fedyogi"],
+                    policies=[("top_k", 2)] * 4,
+                    scoring_policies=["mean"] * 4,
+                ),
+            )
+        )
+        return fedavg_only, mixed
+
+    fedavg_only, mixed = run_once(benchmark, run)
+    report(
+        format_run_table(fedavg_only)
+        + "\n\n"
+        + format_run_table(mixed)
+        + "\n\nPaper: Runs 3/4 show FedAvg-only and mixed FedAvg+FedYogi federations both "
+        "converge under NIID alpha=0.1 (22-28 % accuracy); the mixed run is not degraded."
+    )
+
+    assert {a.strategy for a in mixed.aggregators} == {"fedavg", "fedyogi"}
+    # Both federations learn (well above the 10% random-guess floor).
+    assert fedavg_only.mean_global_accuracy > 0.15
+    assert mixed.mean_global_accuracy > 0.15
+    # Mixing strategies does not break collaboration (stays within a band of FedAvg-only).
+    assert abs(mixed.mean_global_accuracy - fedavg_only.mean_global_accuracy) < 0.25
+
+
+def test_table5_run5_run6_policy_heterogeneity(benchmark, report):
+    policy_mix = [("self", 1), ("top_k", 2), ("top_k", 2), ("top_k", 3)]
+    scoring_mix = ["mean", "max", "mean", "mean"]
+
+    def run():
+        niid = run_experiment(
+            gpu_experiment(
+                "table5-run5-policies-niid",
+                mode="sync",
+                alpha=0.5,
+                seed=5,
+                clusters=gpu_cluster_configs(policies=policy_mix, scoring_policies=scoring_mix),
+            )
+        )
+        iid = run_experiment(
+            gpu_experiment(
+                "table5-run6-policies-iid",
+                mode="sync",
+                partitioning="iid",
+                seed=5,
+                clusters=gpu_cluster_configs(policies=policy_mix, scoring_policies=scoring_mix),
+            )
+        )
+        return niid, iid
+
+    niid, iid = run_once(benchmark, run)
+    report(
+        format_run_table(niid)
+        + "\n\n"
+        + format_run_table(iid)
+        + "\n\nPaper: the Self aggregator reaches only ~21-22 % while collaborating "
+        "aggregators reach 32-36 %, under both NIID and IID partitioning."
+    )
+
+    for result in (niid, iid):
+        self_agg = result.aggregator("agg1")
+        collaborators = [a for a in result.aggregators if a.name != "agg1"]
+        best_collaborator = max(a.global_accuracy for a in collaborators)
+        # The non-collaborating cluster falls behind the best collaborating one.
+        assert best_collaborator > self_agg.global_accuracy
+        # Sync mode: every aggregator reports the same total time.
+        times = [a.total_time for a in result.aggregators]
+        assert max(times) - min(times) < 1e-6
+
+
+def test_table5_run7_multikrum_scoring(benchmark, report):
+    policy_mix = [("all", 1), ("top_k", 3), ("top_k", 2), ("top_k", 1)]
+
+    def run():
+        return run_experiment(
+            gpu_experiment(
+                "table5-run7-multikrum",
+                mode="sync",
+                alpha=0.5,
+                seed=6,
+                scoring_algorithm="multikrum",
+                clusters=gpu_cluster_configs(policies=policy_mix),
+            )
+        )
+
+    result = run_once(benchmark, run)
+    report(
+        format_run_table(result)
+        + "\n\nPaper: MultiKRUM-scored Sync UnifyFL performs on par with accuracy-scored "
+        "runs (27-35 % accuracy across aggregators)."
+    )
+
+    assert result.scoring_algorithm == "multikrum"
+    # The federation still learns under similarity-based scoring.
+    assert result.mean_global_accuracy > 0.15
+    # Scores were actually produced by the MultiKRUM path for peer models.
+    assert all(len(a.history) == GPU_ROUNDS for a in result.aggregators)
+
+
+def test_table5_run8_run9_sync_vs_async_iid(benchmark, report):
+    rounds = 16  # both modes are near their plateau by then, as in the paper's 50 rounds
+
+    def run():
+        sync_result = run_experiment(
+            gpu_experiment("table5-run8-sync-iid", mode="sync", partitioning="iid", seed=7, rounds=rounds)
+        )
+        async_result = run_experiment(
+            gpu_experiment("table5-run9-async-iid", mode="async", partitioning="iid", seed=7, rounds=rounds)
+        )
+        return sync_result, async_result
+
+    sync_result, async_result = run_once(benchmark, run)
+    report(
+        format_run_table(sync_result)
+        + "\n\n"
+        + format_run_table(async_result)
+        + "\n\nPaper: Sync reaches ~37 % in ~6390 s; Async reaches ~37-39 % in ~4100-4260 s "
+        "(same accuracy, ~2/3 the runtime)."
+    )
+
+    # Accuracy parity between the modes under IID data.  (Our async mode trails
+    # sync slightly more than the paper's GPU runs because stale peer models are
+    # more costly this far from the plateau; see EXPERIMENTS.md.)
+    assert abs(sync_result.mean_global_accuracy - async_result.mean_global_accuracy) < 0.25
+    # Async finishes earlier — the headline Sync-vs-Async result.
+    assert async_result.max_total_time < 0.9 * sync_result.max_total_time
+    # Sync's aggregators share one makespan; Async's spread out.
+    sync_times = [a.total_time for a in sync_result.aggregators]
+    async_times = [a.total_time for a in async_result.aggregators]
+    assert max(sync_times) - min(sync_times) < 1e-6
+    assert max(async_times) - min(async_times) > 1.0

@@ -1,0 +1,61 @@
+"""Table 7 — system overhead of running UnifyFL.
+
+The paper reports per-process CPU and memory statistics (scorer, aggregator,
+client) plus the constant footprint of the Geth and IPFS daemons (0.2 % CPU /
+6 MB and 3.5 % CPU / 19 MB respectively), and notes that the overhead stays
+constant when scaling to 60 clients.
+
+Reproduced shape: clients dominate CPU, aggregators dominate memory, the two
+daemons are negligible next to the FL work, and none of the daemon numbers
+grow with the client count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import edge_experiment, run_once
+from repro.core.config import edge_cluster_configs
+from repro.core.results import format_resource_table
+from repro.core.runner import ExperimentRunner
+
+
+def test_table7_system_overhead(benchmark, report):
+    def run():
+        small = ExperimentRunner(edge_experiment("table7-small", mode="sync", rounds=4, seed=9)).run()
+        scaled_clusters = edge_cluster_configs(num_clients=6, policy="top_k", policy_k=2)
+        scaled = ExperimentRunner(
+            edge_experiment("table7-scaled", mode="sync", rounds=4, seed=9, clusters=scaled_clusters)
+        ).run()
+        return small, scaled
+
+    small, scaled = run_once(benchmark, run)
+
+    lines = [format_resource_table(small.resource_reports)]
+    lines.append("")
+    lines.append("Chain / storage counters (small vs 2x-clients run):")
+    for key in sorted(small.chain_metrics):
+        lines.append(f"  {key:<28}{small.chain_metrics[key]:>14.0f}{scaled.chain_metrics[key]:>14.0f}")
+    lines.append(
+        "\nPaper: client 61.4 % CPU / 1.8 GB, aggregator 4.1 % CPU / 11.4 GB, scorer 11.4 % CPU / 1 GB, "
+        "Geth 0.2 % CPU / 6 MB, IPFS 3.5 % CPU / 19 MB; overhead constant up to 60 clients."
+    )
+    report("\n".join(lines))
+
+    reports = small.resource_reports
+    # Clients are the CPU-hungry processes; aggregators hold the big models in memory.
+    assert reports["client"].cpu_mean > reports["agg"].cpu_mean
+    assert reports["client"].cpu_mean > reports["scorer"].cpu_mean
+    assert reports["agg"].mem_mean_mb > reports["client"].mem_mean_mb
+    # Daemon overhead is minuscule relative to the FL work.
+    assert reports["geth"].cpu_mean < 1.0
+    assert reports["geth"].mem_mean_mb < 10.0
+    assert reports["ipfs"].cpu_mean < 10.0
+    assert reports["ipfs"].mem_mean_mb < 40.0
+    # Scaling the client count does not change the daemon footprint...
+    assert scaled.resource_reports["geth"].cpu_mean == pytest.approx(reports["geth"].cpu_mean, abs=0.2)
+    assert scaled.resource_reports["ipfs"].mem_mean_mb == pytest.approx(reports["ipfs"].mem_mean_mb, abs=5.0)
+    # ...nor the on-chain work (same number of aggregators => same transactions).
+    assert scaled.chain_metrics["transactions_processed"] == pytest.approx(
+        small.chain_metrics["transactions_processed"], rel=0.2
+    )

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Customisability: plug your own aggregation policy and scoring policy in.
+
+UnifyFL's selling point over HBFL/ChainFL is that each organisation keeps full
+control over *how* it uses the shared models.  This example defines two custom
+policies and wires them into one organisation of a federation whose other
+members use built-in policies:
+
+* ``TrimmedMeanScore`` — a scoring policy that drops the highest and lowest
+  score before averaging (robust to one wild scorer).
+* ``ScoreWeightedSample`` — an aggregation policy that samples ``k`` peer
+  models with probability proportional to their resolved score.
+
+Run with:  python examples/custom_policies.py
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import (
+    AggregationPolicy,
+    CandidateModel,
+    ClusterConfig,
+    ExperimentConfig,
+    ExperimentRunner,
+    ScoringPolicy,
+    cifar10_workload,
+    format_run_table,
+)
+from repro.simnet.hardware import DOCKER_CONTAINER, EDGE_CPU_NODE
+
+
+class TrimmedMeanScore(ScoringPolicy):
+    """Average the scores after dropping the single best and worst value."""
+
+    name = "trimmed_mean"
+
+    def resolve(self, scores: Sequence[float]) -> float:
+        values = sorted(scores)
+        if len(values) > 2:
+            values = values[1:-1]
+        return float(np.mean(values))
+
+
+class ScoreWeightedSample(AggregationPolicy):
+    """Sample ``k`` peer models with probability proportional to their score."""
+
+    name = "score_weighted_sample"
+
+    def __init__(self, k: int = 2):
+        self.k = k
+
+    def select(
+        self,
+        candidates: Sequence[CandidateModel],
+        self_candidate: Optional[CandidateModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[CandidateModel]:
+        rng = rng or np.random.default_rng()
+        scored = [c for c in candidates if not np.isnan(c.resolved_score)]
+        chosen: List[CandidateModel] = []
+        if scored:
+            weights = np.array([max(c.resolved_score, 1e-6) for c in scored])
+            probabilities = weights / weights.sum()
+            count = min(self.k, len(scored))
+            picked = rng.choice(len(scored), size=count, replace=False, p=probabilities)
+            chosen = [scored[i] for i in sorted(picked)]
+        if self_candidate is not None:
+            chosen.append(self_candidate)
+        return chosen
+
+
+def main() -> None:
+    clusters = [
+        ClusterConfig(name="custom-org", num_clients=3, aggregator_profile=EDGE_CPU_NODE,
+                      client_profile=DOCKER_CONTAINER),
+        ClusterConfig(name="topk-org", num_clients=3, aggregation_policy="top_k", policy_k=2,
+                      aggregator_profile=EDGE_CPU_NODE, client_profile=DOCKER_CONTAINER),
+        ClusterConfig(name="all-org", num_clients=3, aggregation_policy="all",
+                      aggregator_profile=EDGE_CPU_NODE, client_profile=DOCKER_CONTAINER),
+    ]
+    config = ExperimentConfig(
+        name="custom-policies",
+        workload=cifar10_workload(rounds=6, samples_per_class=24, image_size=8, learning_rate=0.05),
+        clusters=clusters,
+        mode="sync",
+        partitioning="dirichlet",
+        dirichlet_alpha=0.5,
+        rounds=6,
+        seed=21,
+    )
+
+    runner = ExperimentRunner(config)
+    runner.build()
+    # Swap the first organisation's policies for the custom implementations.
+    custom_org = runner.aggregators[0]
+    custom_org.aggregation_policy = ScoreWeightedSample(k=2)
+    custom_org.scoring_policy = TrimmedMeanScore()
+
+    result = runner.run()
+    # Reflect the customisation in the printed table.
+    result.aggregators[0].policy = "score_weighted/trimmed_mean"
+
+    print(format_run_table(result))
+    print()
+    print("Each organisation used a different selection rule against the same shared")
+    print("contract state — no change to the orchestrator or to the other organisations")
+    print("was needed to plug the custom policies in.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Differential privacy on client updates (the paper's §5 Q3 future work).
+
+One organisation in the federation turns on the Gaussian DP mechanism for its
+clients: every update they report is clipped to a fixed L2 norm and perturbed
+with calibrated noise *before* it ever reaches the organisation's aggregator —
+so nothing that leaves the silo (the aggregated model published to IPFS, the
+scores on the chain) depends on any single client's raw update too strongly.
+
+The example compares the DP organisation's accuracy and spent privacy budget
+against its non-private peers.
+
+Run with:  python examples/differential_privacy.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ClusterConfig,
+    ExperimentConfig,
+    ExperimentRunner,
+    cifar10_workload,
+    format_run_table,
+)
+from repro.fl.privacy import PrivacyAccountant
+from repro.simnet.hardware import DOCKER_CONTAINER, EDGE_CPU_NODE
+
+ROUNDS = 6
+CLIP_NORM = 5.0
+NOISE_MULTIPLIER = 0.05
+
+
+def main() -> None:
+    clusters = [
+        ClusterConfig(
+            name="private-org",
+            num_clients=3,
+            aggregation_policy="top_k",
+            policy_k=2,
+            aggregator_profile=EDGE_CPU_NODE,
+            client_profile=DOCKER_CONTAINER,
+            dp_clip_norm=CLIP_NORM,
+            dp_noise_multiplier=NOISE_MULTIPLIER,
+        ),
+        ClusterConfig(name="plain-org-1", num_clients=3, aggregation_policy="top_k", policy_k=2,
+                      aggregator_profile=EDGE_CPU_NODE, client_profile=DOCKER_CONTAINER),
+        ClusterConfig(name="plain-org-2", num_clients=3, aggregation_policy="top_k", policy_k=2,
+                      aggregator_profile=EDGE_CPU_NODE, client_profile=DOCKER_CONTAINER),
+    ]
+    config = ExperimentConfig(
+        name="differential-privacy",
+        workload=cifar10_workload(rounds=ROUNDS, samples_per_class=24, image_size=8, learning_rate=0.05),
+        clusters=clusters,
+        mode="sync",
+        partitioning="iid",
+        rounds=ROUNDS,
+        seed=19,
+    )
+    result = ExperimentRunner(config).run()
+
+    print(format_run_table(result))
+    print()
+    accountant = PrivacyAccountant(noise_multiplier=NOISE_MULTIPLIER)
+    epsilon = accountant.epsilon_after(ROUNDS)
+    private = result.aggregator("private-org")
+    peers = [a for a in result.aggregators if a.name != "private-org"]
+    peer_mean = sum(a.global_accuracy for a in peers) / len(peers)
+    print(f"Private organisation : {private.global_accuracy * 100:.2f} % global accuracy")
+    print(f"Non-private peers    : {peer_mean * 100:.2f} % mean global accuracy")
+    print(f"Approximate budget   : epsilon ~= {epsilon:.1f} per client after {ROUNDS} rounds "
+          f"(clip {CLIP_NORM}, noise multiplier {NOISE_MULTIPLIER})")
+    print()
+    print("DP is applied inside the silo; the orchestrator, the storage swarm and the")
+    print("other organisations are unchanged — privacy is a per-organisation choice,")
+    print("exactly like the aggregation policy.")
+
+
+if __name__ == "__main__":
+    main()

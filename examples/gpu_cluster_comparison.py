@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The GPU-cluster workload: Async UnifyFL vs the centralized multilevel oracle.
+
+A scaled-down version of the paper's Table 5 Runs 1 and 2: four organisations
+with three GPU-node clients each train the MiniVGG model on the synthetic
+Tiny-ImageNet stand-in under Dirichlet non-IID partitioning.  The script runs
+the HBFL-style centralized baseline and Async UnifyFL with the Pick-All policy
+on the same data and prints the accuracy/time comparison the paper's headline
+result is built on.
+
+Run with:  python examples/gpu_cluster_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ExperimentConfig,
+    ExperimentRunner,
+    format_run_table,
+    gpu_cluster_configs,
+    tiny_imagenet_workload,
+)
+
+ROUNDS = 12
+
+
+def build_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        name="gpu-cluster-async",
+        workload=tiny_imagenet_workload(
+            rounds=ROUNDS, samples_per_class=40, num_classes=10, image_size=8, learning_rate=0.1
+        ),
+        clusters=gpu_cluster_configs(num_clusters=4, num_clients=3),
+        mode="async",
+        partitioning="dirichlet",
+        dirichlet_alpha=0.5,
+        rounds=ROUNDS,
+        seed=3,
+    )
+
+
+def main() -> None:
+    runner = ExperimentRunner(build_config())
+    baseline = runner.run_centralized_baseline(rounds=ROUNDS)
+    unifyfl = ExperimentRunner(build_config()).run()
+
+    print(format_run_table(unifyfl))
+    print()
+    print(f"{'System':<38}{'Global Acc %':>14}{'Time (sim s)':>14}")
+    print("-" * 66)
+    print(f"{'Centralized multilevel (HBFL oracle)':<38}{baseline.global_accuracy * 100:>14.2f}{baseline.total_time:>14.0f}")
+    print(f"{'Async UnifyFL (Pick All)':<38}{unifyfl.mean_global_accuracy * 100:>14.2f}{unifyfl.max_total_time:>14.0f}")
+    print()
+    speedup = baseline.total_time / unifyfl.max_total_time
+    print(f"Async UnifyFL reaches comparable accuracy {speedup:.2f}x faster than the oracle,")
+    print("without any organisation having to trust a third-party aggregator.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Device heterogeneity on the edge cluster: Sync vs Async orchestration.
+
+Reproduces the scenario of Section 4.2.5 at example scale: three
+organisations whose client fleets are Raspberry Pi 400s, Jetson Nanos and
+Docker containers.  The Raspberry Pi silo is the straggler; in Sync mode every
+organisation waits for it each round, while in Async mode the faster silos
+keep training.
+
+The script runs both modes on the same NIID data and prints the per-silo
+completion times and accuracies side by side, plus the idle time that the
+synchronous barriers cost.
+
+Run with:  python examples/heterogeneous_edge.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ExperimentConfig,
+    cifar10_workload,
+    edge_cluster_configs,
+    format_comparison,
+    format_run_table,
+    run_experiment,
+)
+
+
+def build_config(mode: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=f"edge-heterogeneous-{mode}",
+        workload=cifar10_workload(rounds=6, samples_per_class=24, image_size=8, learning_rate=0.05),
+        clusters=edge_cluster_configs(num_clients=3, policy="top_k", policy_k=2),
+        mode=mode,
+        partitioning="dirichlet",
+        dirichlet_alpha=0.5,
+        rounds=6,
+        seed=7,
+    )
+
+
+def main() -> None:
+    sync_result = run_experiment(build_config("sync"))
+    async_result = run_experiment(build_config("async"))
+
+    print(format_run_table(sync_result))
+    print()
+    print(format_run_table(async_result))
+    print()
+    print(format_comparison([sync_result, async_result], labels=["Sync (lock-step)", "Async (independent)"]))
+    print()
+
+    print("Straggler analysis (client fleets: agg1=Raspberry Pi, agg2=Jetson, agg3=Docker)")
+    for result, label in ((sync_result, "sync"), (async_result, "async")):
+        for aggregator in result.aggregators:
+            print(
+                f"  [{label:>5}] {aggregator.name}: total {aggregator.total_time:7.0f} s, "
+                f"idle {aggregator.idle_time:7.0f} s, stragglers {aggregator.straggler_count}"
+            )
+    speedup = sync_result.max_total_time / async_result.max_total_time
+    print()
+    print(f"Async finishes the same number of rounds {speedup:.2f}x faster than Sync,")
+    print("because the Jetson and Docker silos no longer idle while the Raspberry Pi silo trains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""UnifyFL reproduction: decentralized cross-silo federated learning.
+
+The package is organised as one subpackage per subsystem:
+
+* ``repro.ml`` — numpy neural-network engine (the PyTorch substitute).
+* ``repro.datasets`` — synthetic CIFAR-10 / Tiny-ImageNet workloads and the
+  IID / Dirichlet non-IID partitioners.
+* ``repro.fl`` — the in-cluster federated-learning framework (the Flower
+  substitute): clients, server, FedAvg / FedYogi strategies.
+* ``repro.chain`` — the private Ethereum-style blockchain with Clique PoA and
+  a Python smart-contract runtime (the Geth + Solidity substitute).
+* ``repro.ipfs`` — content-addressed distributed storage (the IPFS substitute).
+* ``repro.simnet`` — simulated clocks, hardware profiles, links and resource
+  accounting standing in for the paper's physical testbeds.
+* ``repro.core`` — UnifyFL itself: the orchestrator contract, aggregators,
+  scoring, policies, Sync/Async orchestration, attacks, baselines and the
+  experiment runner.
+
+Quick start::
+
+    from repro.core import (
+        ExperimentConfig, cifar10_workload, edge_cluster_configs, run_experiment,
+    )
+
+    config = ExperimentConfig(
+        name="quickstart",
+        workload=cifar10_workload(rounds=5),
+        clusters=edge_cluster_configs(),
+        mode="async",
+        partitioning="dirichlet",
+        dirichlet_alpha=0.5,
+        rounds=5,
+    )
+    result = run_experiment(config)
+    print(result.mean_global_accuracy)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

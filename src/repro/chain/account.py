@@ -1,0 +1,47 @@
+"""Externally owned accounts on the simulated chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chain.crypto import KeyPair
+
+
+@dataclass
+class Account:
+    """An account identified by an address, holding a nonce and a balance.
+
+    On the private PoA chain the balance only matters for gas accounting in
+    the overhead study; the nonce orders the account's transactions and
+    prevents replay, exactly as on Ethereum.
+    """
+
+    keypair: KeyPair
+    nonce: int = 0
+    balance: float = 0.0
+    label: str = ""
+
+    @classmethod
+    def create(cls, label: str = "", seed: Optional[int] = None, balance: float = 1_000_000.0) -> "Account":
+        """Generate a fresh account with a funded balance."""
+        return cls(keypair=KeyPair.generate(seed=seed), balance=balance, label=label)
+
+    @property
+    def address(self) -> str:
+        """The account's hex address."""
+        return self.keypair.address
+
+    def next_nonce(self) -> int:
+        """Return the nonce to use for the next transaction and advance it."""
+        nonce = self.nonce
+        self.nonce += 1
+        return nonce
+
+    def sign(self, payload: Any) -> str:
+        """Sign an arbitrary JSON-serialisable payload."""
+        return self.keypair.sign(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        name = self.label or "account"
+        return f"Account({name}, {self.address[:10]}..., nonce={self.nonce})"

@@ -1,0 +1,68 @@
+"""Blocks and block headers for the simulated chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.chain.crypto import hash_payload
+from repro.chain.transaction import Transaction
+
+
+@dataclass
+class BlockHeader:
+    """Header of a sealed block.
+
+    Carries the parent link, the sealer's address and signature (Clique PoA
+    puts the validator's seal in the header rather than a proof-of-work
+    nonce), and a Merkle-style digest of the transaction list.
+    """
+
+    number: int
+    parent_hash: str
+    timestamp: float
+    sealer: str
+    transactions_root: str
+    state_root: str = ""
+    seal_signature: str = ""
+    gas_used: int = 0
+
+    def hash(self) -> str:
+        """Deterministic hash of the header contents (excluding the seal)."""
+        return "0x" + hash_payload(
+            {
+                "number": self.number,
+                "parent_hash": self.parent_hash,
+                "timestamp": self.timestamp,
+                "sealer": self.sealer,
+                "transactions_root": self.transactions_root,
+                "state_root": self.state_root,
+                "gas_used": self.gas_used,
+            }
+        )
+
+
+@dataclass
+class Block:
+    """A sealed block: a header plus the ordered list of included transactions."""
+
+    header: BlockHeader
+    transactions: List[Transaction] = field(default_factory=list)
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def block_hash(self) -> str:
+        return self.header.hash()
+
+    @staticmethod
+    def compute_transactions_root(transactions: List[Transaction]) -> str:
+        """Digest of the ordered transaction hashes included in a block."""
+        return hash_payload([tx.tx_hash for tx in transactions])
+
+    def estimated_size_bytes(self) -> int:
+        """Approximate encoded block size for the overhead accounting."""
+        header_size = 200
+        return header_size + sum(tx.estimated_size_bytes() for tx in self.transactions)

@@ -1,0 +1,92 @@
+"""Transactions and receipts for the simulated chain.
+
+A transaction carries a smart-contract call: the target contract name, the
+method, and JSON-serialisable arguments.  It is signed by the sender and
+ordered by the sender's nonce.  A receipt records execution status, gas used,
+the return value and any events emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chain.account import Account
+from repro.chain.crypto import hash_payload
+from repro.chain.events import Event
+
+
+@dataclass
+class Transaction:
+    """A signed contract-call transaction."""
+
+    sender: str
+    nonce: int
+    contract: str
+    method: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    gas_limit: int = 1_000_000
+    signature: str = ""
+    sender_public_key: str = ""
+
+    @classmethod
+    def create(
+        cls,
+        account: Account,
+        contract: str,
+        method: str,
+        args: Optional[Dict[str, Any]] = None,
+        gas_limit: int = 1_000_000,
+    ) -> "Transaction":
+        """Build and sign a transaction from an account."""
+        if gas_limit <= 0:
+            raise ValueError("gas_limit must be positive")
+        args = dict(args or {})
+        tx = cls(
+            sender=account.address,
+            nonce=account.next_nonce(),
+            contract=contract,
+            method=method,
+            args=args,
+            gas_limit=gas_limit,
+            sender_public_key=account.keypair.public_key,
+        )
+        tx.signature = account.sign(tx.signing_payload())
+        return tx
+
+    def signing_payload(self) -> Dict[str, Any]:
+        """The canonical payload covered by the signature."""
+        return {
+            "sender": self.sender,
+            "nonce": self.nonce,
+            "contract": self.contract,
+            "method": self.method,
+            "args": self.args,
+            "gas_limit": self.gas_limit,
+        }
+
+    @property
+    def tx_hash(self) -> str:
+        """Deterministic transaction hash (includes the signature)."""
+        payload = dict(self.signing_payload())
+        payload["signature"] = self.signature
+        return "0x" + hash_payload(payload)
+
+    def estimated_size_bytes(self) -> int:
+        """Rough encoded size, used by the overhead accounting."""
+        import json
+
+        return len(json.dumps(self.signing_payload(), default=str)) + 64
+
+
+@dataclass
+class TransactionReceipt:
+    """Execution outcome of a transaction included in a block."""
+
+    tx_hash: str
+    block_number: int
+    success: bool
+    gas_used: int
+    return_value: Any = None
+    error: Optional[str] = None
+    events: List[Event] = field(default_factory=list)

@@ -1,0 +1,172 @@
+"""Command-line interface for running UnifyFL experiments.
+
+A downstream user can reproduce an experiment or explore configurations
+without writing Python::
+
+    python -m repro.cli run --workload cifar10 --mode async --rounds 6 \
+        --clusters 3 --clients 3 --partitioning dirichlet --alpha 0.5 \
+        --policy top_k --policy-k 2 --json-out result.json
+
+    python -m repro.cli compare --workload cifar10 --rounds 6   # sync vs async vs baselines
+    python -m repro.cli policies                                 # list available policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    cifar10_workload,
+    edge_cluster_configs,
+    gpu_cluster_configs,
+    tiny_imagenet_workload,
+)
+from repro.core.policies import available_aggregation_policies, available_scoring_policies
+from repro.core.reporting import save_result_json, save_results_csv
+from repro.core.results import format_comparison, format_resource_table, format_run_table
+from repro.core.runner import ExperimentRunner
+
+
+def _build_workload(args: argparse.Namespace):
+    if args.workload == "cifar10":
+        return cifar10_workload(
+            rounds=args.rounds,
+            samples_per_class=args.samples_per_class,
+            image_size=args.image_size,
+            learning_rate=args.learning_rate,
+        )
+    return tiny_imagenet_workload(
+        rounds=args.rounds,
+        samples_per_class=args.samples_per_class,
+        num_classes=args.num_classes,
+        image_size=args.image_size,
+        learning_rate=args.learning_rate,
+    )
+
+
+def _build_clusters(args: argparse.Namespace) -> List[ClusterConfig]:
+    if args.testbed == "edge":
+        clusters = edge_cluster_configs(num_clients=args.clients, policy=args.policy, policy_k=args.policy_k)
+        return clusters[: args.clusters] if args.clusters <= len(clusters) else clusters
+    return gpu_cluster_configs(
+        num_clusters=args.clusters,
+        num_clients=args.clients,
+        policies=[(args.policy, args.policy_k)] * args.clusters,
+        scoring_policies=[args.scoring_policy] * args.clusters,
+    )
+
+
+def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=name,
+        workload=_build_workload(args),
+        clusters=_build_clusters(args),
+        mode=mode or args.mode,
+        partitioning=args.partitioning,
+        dirichlet_alpha=args.alpha,
+        scoring_algorithm=args.scoring,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=["cifar10", "tiny_imagenet"], default="cifar10")
+    parser.add_argument("--testbed", choices=["edge", "gpu"], default="edge")
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--clusters", type=int, default=3, help="number of organisations")
+    parser.add_argument("--clients", type=int, default=3, help="clients per organisation")
+    parser.add_argument("--partitioning", choices=["iid", "dirichlet", "shard"], default="dirichlet")
+    parser.add_argument("--alpha", type=float, default=0.5, help="Dirichlet concentration for NIID splits")
+    parser.add_argument("--policy", default="top_k", help="aggregation policy for every organisation")
+    parser.add_argument("--policy-k", type=int, default=2, dest="policy_k")
+    parser.add_argument("--scoring-policy", default="mean", dest="scoring_policy")
+    parser.add_argument("--scoring", choices=["accuracy", "loss", "multikrum", "cosine"], default="accuracy")
+    parser.add_argument("--samples-per-class", type=int, default=24, dest="samples_per_class")
+    parser.add_argument("--image-size", type=int, default=8, dest="image_size")
+    parser.add_argument("--num-classes", type=int, default=10, dest="num_classes")
+    parser.add_argument("--learning-rate", type=float, default=0.05, dest="learning_rate")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description="UnifyFL reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one UnifyFL experiment")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument("--mode", choices=["sync", "async"], default="async")
+    run_parser.add_argument("--json-out", default=None, help="write the full result document to this JSON file")
+    run_parser.add_argument("--csv-out", default=None, help="append per-aggregator rows to this CSV file")
+    run_parser.add_argument("--show-resources", action="store_true", help="print the Table-7-style resource report")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run Sync, Async and the baselines on the same data and compare"
+    )
+    _add_common_arguments(compare_parser)
+
+    subparsers.add_parser("policies", help="list the available aggregation and scoring policies")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _build_config(args, name=f"cli-{args.workload}-{args.mode}")
+    runner = ExperimentRunner(config)
+    result = runner.run()
+    print(format_run_table(result))
+    print()
+    print(f"Mean global accuracy : {result.mean_global_accuracy * 100:.2f} %")
+    print(f"Federation makespan  : {result.max_total_time:.0f} simulated seconds")
+    if args.show_resources and result.resource_reports:
+        print()
+        print(format_resource_table(result.resource_reports))
+    if args.json_out:
+        path = save_result_json(result, args.json_out)
+        print(f"Result written to {path}")
+    if args.csv_out:
+        path = save_results_csv([result], args.csv_out)
+        print(f"CSV written to {path}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    sync_result = ExperimentRunner(_build_config(args, "cli-sync", mode="sync")).run()
+    async_result = ExperimentRunner(_build_config(args, "cli-async", mode="async")).run()
+    baseline_runner = ExperimentRunner(_build_config(args, "cli-baseline", mode="sync"))
+    centralized = baseline_runner.run_centralized_baseline(rounds=args.rounds)
+    no_collab = baseline_runner.run_no_collab_baseline(rounds=args.rounds)
+
+    print(format_comparison([sync_result, async_result], labels=["Sync UnifyFL", "Async UnifyFL"]))
+    print()
+    print(f"{'Centralized multilevel (oracle)':<34}{centralized.global_accuracy * 100:>16.2f}{centralized.total_time:>14.0f}")
+    isolated = max(c.accuracy for c in no_collab.clusters)
+    print(f"{'Best isolated cluster (no collab)':<34}{isolated * 100:>16.2f}{no_collab.total_time:>14.0f}")
+    return 0
+
+
+def _command_policies(_: argparse.Namespace) -> int:
+    print("Aggregation policies:", ", ".join(available_aggregation_policies()))
+    print("Scoring policies    :", ", ".join(available_scoring_policies()))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "policies":
+        return _command_policies(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Byzantine / model-poisoning attacks (Section 5 Q2 and Figure 7).
+
+A malicious aggregator participates in the protocol normally but submits
+poisoned model weights.  The attacks implemented here are the standard ones
+studied in the Byzantine-FL literature and sufficient to reproduce the
+naive-versus-smart-policy comparison of Figure 7:
+
+* ``sign_flip`` — submit the negated weights (gradient-ascent style attack).
+* ``gaussian_noise`` — replace weights with large random noise.
+* ``scaling`` — scale the weights by a large factor, dominating naive averages.
+* ``zero`` — submit all-zero weights (a lazy free-rider).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+Weights = List[np.ndarray]
+
+
+class ModelPoisoningAttack:
+    """Base class: transform honest weights into a poisoned submission."""
+
+    name = "attack"
+
+    def poison(self, weights: Weights, rng: Optional[np.random.Generator] = None) -> Weights:
+        raise NotImplementedError
+
+
+class SignFlipAttack(ModelPoisoningAttack):
+    """Negate every parameter, pushing the global model away from convergence."""
+
+    name = "sign_flip"
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def poison(self, weights: Weights, rng: Optional[np.random.Generator] = None) -> Weights:
+        return [-self.scale * w for w in weights]
+
+
+class GaussianNoiseAttack(ModelPoisoningAttack):
+    """Replace the model with Gaussian noise of a chosen magnitude."""
+
+    name = "gaussian_noise"
+
+    def __init__(self, noise_scale: float = 1.0):
+        if noise_scale <= 0:
+            raise ValueError("noise_scale must be positive")
+        self.noise_scale = noise_scale
+
+    def poison(self, weights: Weights, rng: Optional[np.random.Generator] = None) -> Weights:
+        rng = rng or np.random.default_rng()
+        return [rng.normal(scale=self.noise_scale, size=w.shape) for w in weights]
+
+
+class ScalingAttack(ModelPoisoningAttack):
+    """Scale the model by a large factor so it dominates unweighted averages."""
+
+    name = "scaling"
+
+    def __init__(self, factor: float = 10.0):
+        if factor == 0:
+            raise ValueError("factor must be non-zero")
+        self.factor = factor
+
+    def poison(self, weights: Weights, rng: Optional[np.random.Generator] = None) -> Weights:
+        return [self.factor * w for w in weights]
+
+
+class ZeroAttack(ModelPoisoningAttack):
+    """Submit all-zero weights (free-riding / nullifying contribution)."""
+
+    name = "zero"
+
+    def poison(self, weights: Weights, rng: Optional[np.random.Generator] = None) -> Weights:
+        return [np.zeros_like(w) for w in weights]
+
+
+_ATTACKS: Dict[str, Callable[..., ModelPoisoningAttack]] = {
+    "sign_flip": SignFlipAttack,
+    "gaussian_noise": GaussianNoiseAttack,
+    "scaling": ScalingAttack,
+    "zero": ZeroAttack,
+}
+
+
+def build_attack(name: str, **kwargs) -> ModelPoisoningAttack:
+    """Construct an attack by name."""
+    key = name.lower()
+    if key not in _ATTACKS:
+        raise ValueError(f"unknown attack '{name}'; available: {sorted(_ATTACKS)}")
+    return _ATTACKS[key](**kwargs)
+
+
+def available_attacks() -> List[str]:
+    """Names accepted by :func:`build_attack`."""
+    return sorted(_ATTACKS)

@@ -1,0 +1,250 @@
+"""Experiment configuration dataclasses.
+
+These mirror the configuration dimensions of the paper's evaluation:
+workload (Table 4), data partitioning (IID / Dirichlet NIID with α),
+orchestration mode (Sync / Async), per-aggregator aggregation strategy
+(FedAvg / FedYogi), per-aggregator aggregation policy, scoring algorithm
+(accuracy / MultiKRUM) and the testbed (GPU cluster / edge cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simnet.hardware import (
+    DOCKER_CONTAINER,
+    EDGE_CPU_NODE,
+    GPU_NODE,
+    JETSON_NANO,
+    RASPBERRY_PI_400,
+    HardwareProfile,
+)
+
+
+@dataclass
+class WorkloadConfig:
+    """One row of the paper's Table 4 (scaled to the simulation substrate)."""
+
+    name: str
+    model: str
+    dataset: str
+    num_classes: int
+    image_size: int = 16
+    learning_rate: float = 0.01
+    rounds: int = 100
+    local_epochs: int = 2
+    batch_size: int = 5
+    samples_per_class: int = 100
+    test_samples_per_class: int = 20
+    #: reference parameter count used for timing (the paper's model size).
+    reference_parameters: int = 62_000
+    #: nominal number of training samples each client of the *paper's* testbed
+    #: holds; drives the timing model, not the actual (scaled) training data.
+    nominal_samples_per_client: int = 2_000
+    #: nominal number of evaluation samples a scorer runs per candidate model.
+    nominal_test_samples: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0 or self.local_epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("rounds, local_epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.nominal_samples_per_client <= 0 or self.nominal_test_samples <= 0:
+            raise ValueError("nominal sample counts must be positive")
+
+
+def cifar10_workload(
+    rounds: int = 20,
+    samples_per_class: int = 60,
+    image_size: int = 16,
+    learning_rate: float = 0.01,
+) -> WorkloadConfig:
+    """The CIFAR-10 / CNN edge workload of Table 4 (scaled).
+
+    ``learning_rate`` defaults to the paper's 0.01; the scaled-down synthetic
+    substrate converges in far fewer rounds with 0.05, which the benchmarks use
+    to reproduce the paper's accuracy *shape* within their round budget.
+    """
+    return WorkloadConfig(
+        name="cifar10-cnn",
+        model="simple_cnn",
+        dataset="cifar10",
+        num_classes=10,
+        image_size=image_size,
+        learning_rate=learning_rate,
+        rounds=rounds,
+        local_epochs=2,
+        batch_size=5,
+        samples_per_class=samples_per_class,
+        test_samples_per_class=max(10, samples_per_class // 4),
+        reference_parameters=62_000,
+        nominal_samples_per_client=2_000,
+        nominal_test_samples=1_000,
+    )
+
+
+def tiny_imagenet_workload(
+    rounds: int = 10,
+    samples_per_class: int = 30,
+    num_classes: int = 20,
+    image_size: int = 16,
+    learning_rate: float = 0.01,
+) -> WorkloadConfig:
+    """The Tiny-ImageNet / VGG16 GPU workload of Table 4 (scaled).
+
+    ``learning_rate`` defaults to the paper's 0.01; benchmarks may raise it so
+    the scaled substrate converges within a small round budget.
+    """
+    return WorkloadConfig(
+        name="tiny-imagenet-vgg",
+        model="mini_vgg",
+        dataset="tiny_imagenet",
+        num_classes=num_classes,
+        image_size=image_size,
+        learning_rate=learning_rate,
+        rounds=rounds,
+        local_epochs=2,
+        batch_size=8,
+        samples_per_class=samples_per_class,
+        test_samples_per_class=max(5, samples_per_class // 4),
+        reference_parameters=138_000_000,
+        nominal_samples_per_client=8_000,
+        nominal_test_samples=2_000,
+    )
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of one participating FL cluster (aggregator + its clients)."""
+
+    name: str
+    num_clients: int = 3
+    strategy: str = "fedavg"
+    aggregation_policy: str = "all"
+    policy_k: int = 2
+    scoring_policy: str = "mean"
+    aggregator_profile: HardwareProfile = EDGE_CPU_NODE
+    client_profile: HardwareProfile = DOCKER_CONTAINER
+    malicious: bool = False
+    attack: str = "sign_flip"
+    #: when set, this organisation's clients privatise their updates with the
+    #: Gaussian DP mechanism (clip to this L2 norm, add calibrated noise).
+    dp_clip_norm: Optional[float] = None
+    dp_noise_multiplier: float = 0.0
+    #: probability that the organisation is up for a given round (fault
+    #: injection); 1.0 means it never drops out.
+    availability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if self.policy_k <= 0:
+            raise ValueError("policy_k must be positive")
+        if self.dp_clip_norm is not None and self.dp_clip_norm <= 0:
+            raise ValueError("dp_clip_norm must be positive when set")
+        if self.dp_noise_multiplier < 0:
+            raise ValueError("dp_noise_multiplier must be non-negative")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run one UnifyFL experiment end to end."""
+
+    name: str
+    workload: WorkloadConfig
+    clusters: List[ClusterConfig]
+    mode: str = "sync"  # "sync" or "async"
+    partitioning: str = "dirichlet"  # "iid", "dirichlet" or "shard"
+    dirichlet_alpha: float = 0.5
+    #: "accuracy" / "loss" work in both modes; "multikrum" / "cosine" are
+    #: similarity-based and therefore Sync-only (they need the whole round).
+    scoring_algorithm: str = "accuracy"
+    rounds: int = 10
+    seed: int = 0
+    #: fixed per-phase duration in simulated seconds for Sync mode; ``None``
+    #: means the orchestrator waits for the slowest aggregator (adaptive barrier).
+    phase_duration: Optional[float] = None
+    block_period: float = 2.0
+    #: sample resource usage for the Table 7 overhead report.
+    monitor_resources: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("sync", "async"):
+            raise ValueError("mode must be 'sync' or 'async'")
+        if self.partitioning not in ("iid", "dirichlet", "shard"):
+            raise ValueError("partitioning must be 'iid', 'dirichlet' or 'shard'")
+        if self.scoring_algorithm not in ("accuracy", "loss", "multikrum", "cosine"):
+            raise ValueError(
+                "scoring_algorithm must be 'accuracy', 'loss', 'multikrum' or 'cosine'"
+            )
+        if self.mode == "async" and self.scoring_algorithm in ("multikrum", "cosine"):
+            raise ValueError(
+                "similarity-based scoring needs all models of a round at once and is only "
+                "supported in sync mode"
+            )
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not self.clusters:
+            raise ValueError("at least one cluster is required")
+        if len({c.name for c in self.clusters}) != len(self.clusters):
+            raise ValueError("cluster names must be unique")
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+
+def gpu_cluster_configs(
+    num_clusters: int = 4,
+    num_clients: int = 3,
+    strategies: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[Tuple[str, int]]] = None,
+    scoring_policies: Optional[Sequence[str]] = None,
+) -> List[ClusterConfig]:
+    """Cluster configs matching the paper's homogeneous 4-node GPU testbed."""
+    clusters: List[ClusterConfig] = []
+    for i in range(num_clusters):
+        strategy = strategies[i] if strategies else "fedavg"
+        policy, k = policies[i] if policies else ("all", 2)
+        scoring_policy = scoring_policies[i] if scoring_policies else "mean"
+        clusters.append(
+            ClusterConfig(
+                name=f"agg{i + 1}",
+                num_clients=num_clients,
+                strategy=strategy,
+                aggregation_policy=policy,
+                policy_k=k,
+                scoring_policy=scoring_policy,
+                aggregator_profile=GPU_NODE,
+                client_profile=GPU_NODE,
+            )
+        )
+    return clusters
+
+
+def edge_cluster_configs(num_clients: int = 3, policy: str = "top_k", policy_k: int = 2) -> List[ClusterConfig]:
+    """Cluster configs matching the paper's heterogeneous 3-node edge testbed.
+
+    Each aggregator runs on a CPU node; its clients are homogeneous within a
+    cluster but differ across clusters (Raspberry Pi 400, Jetson Nano, Docker),
+    as described in Section 4.1.
+    """
+    client_profiles = [RASPBERRY_PI_400, JETSON_NANO, DOCKER_CONTAINER]
+    clusters: List[ClusterConfig] = []
+    for i, profile in enumerate(client_profiles):
+        clusters.append(
+            ClusterConfig(
+                name=f"agg{i + 1}",
+                num_clients=num_clients,
+                strategy="fedavg",
+                aggregation_policy=policy,
+                policy_k=policy_k,
+                scoring_policy="mean",
+                aggregator_profile=EDGE_CPU_NODE,
+                client_profile=profile,
+            )
+        )
+    return clusters

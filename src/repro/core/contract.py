@@ -1,0 +1,285 @@
+"""The UnifyFL orchestrator smart contract (Algorithm 1 of the paper).
+
+The contract coordinates the two phases of every round:
+
+* **Training phase** — ``startTraining`` notifies the aggregators; each
+  aggregator later calls ``submitModel`` with the IPFS CID of its freshly
+  aggregated local model.
+* **Scoring phase** — ``startScoring`` samples a majority subset
+  (``N // 2 + 1``) of the registered aggregators as scorers for each submitted
+  model; scorers call ``submitScore``.  ``getLatestModelsWithScores`` then
+  exposes every model together with the full list of scores so each aggregator
+  can apply its own aggregation and scoring policies.
+
+In **sync** mode the contract enforces phase windows: models may only be
+submitted during the training phase and scores only during the scoring phase
+(anything later is disregarded, as in Section 3.2).  In **async** mode
+scorers are assigned immediately when a model CID is submitted (Section 3.3).
+
+Submission and score records carry the submitting actor's simulated timestamp
+so asynchronous aggregators only observe state that existed at their local
+time — the contract's view methods accept a ``before_time`` cutoff for this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chain.contract import Contract, contract_method, view_method
+
+
+@dataclass
+class ModelSubmission:
+    """A model CID registered on the contract by an aggregator."""
+
+    cid: str
+    submitter: str
+    round_number: int
+    timestamp: float
+    scores: Dict[str, float] = field(default_factory=dict)
+    score_timestamps: Dict[str, float] = field(default_factory=dict)
+    assigned_scorers: List[str] = field(default_factory=list)
+
+    def as_record(self, before_time: Optional[float] = None) -> Dict[str, Any]:
+        """A JSON-friendly view of this submission, optionally time-filtered."""
+        if before_time is None:
+            visible_scores = dict(self.scores)
+        else:
+            visible_scores = {
+                scorer: score
+                for scorer, score in self.scores.items()
+                if self.score_timestamps.get(scorer, 0.0) <= before_time
+            }
+        return {
+            "cid": self.cid,
+            "submitter": self.submitter,
+            "round": self.round_number,
+            "timestamp": self.timestamp,
+            "scores": visible_scores,
+            "assigned_scorers": list(self.assigned_scorers),
+        }
+
+
+class UnifyFLContract(Contract):
+    """The Solidity orchestrator contract, reimplemented for the Python runtime."""
+
+    name = "unifyfl"
+
+    #: phases of the synchronous cycle.
+    PHASE_IDLE = "idle"
+    PHASE_TRAINING = "training"
+    PHASE_SCORING = "scoring"
+
+    def __init__(self, mode: str = "sync", scorer_seed: int = 0):
+        super().__init__()
+        if mode not in ("sync", "async"):
+            raise ValueError("mode must be 'sync' or 'async'")
+        self.mode = mode
+        self.scorer_seed = scorer_seed
+        self.aggregators: List[str] = []
+        self.current_round = 0
+        self.phase = self.PHASE_IDLE
+        self.submissions: Dict[str, ModelSubmission] = {}
+        self.round_submissions: Dict[int, List[str]] = {}
+        #: scorer address -> list of CIDs awaiting that scorer's score.
+        self.pending_assignments: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ setup
+    @contract_method
+    def registerAggregator(self) -> int:
+        """Register the calling address as a participating aggregator/scorer."""
+        sender = self.ctx.sender
+        self.require(sender not in self.aggregators, "aggregator already registered")
+        self.aggregators.append(sender)
+        self.pending_assignments.setdefault(sender, [])
+        self.emit("AggregatorRegistered", aggregator=sender, count=len(self.aggregators))
+        self.ctx.charge(5_000)
+        return len(self.aggregators)
+
+    # --------------------------------------------------------------- training
+    @contract_method
+    def startTraining(self) -> int:
+        """Start the training phase of a new round (Sync orchestration)."""
+        self.require(len(self.aggregators) > 0, "no aggregators registered")
+        self.require(
+            self.phase in (self.PHASE_IDLE, self.PHASE_SCORING),
+            "training phase already open",
+        )
+        self.current_round += 1
+        self.phase = self.PHASE_TRAINING
+        self.round_submissions.setdefault(self.current_round, [])
+        self.emit("StartTraining", round=self.current_round)
+        self.ctx.charge(10_000)
+        return self.current_round
+
+    @contract_method
+    def submitModel(self, cid: str, timestamp: float = 0.0) -> Dict[str, Any]:
+        """Submit the CID of an aggregated local model (valid trainers only)."""
+        sender = self.ctx.sender
+        self.require(sender in self.aggregators, "sender is not a registered aggregator")
+        self.require(bool(cid), "cid must be non-empty")
+        self.require(cid not in self.submissions, "this model CID was already submitted")
+        if self.mode == "sync":
+            self.require(
+                self.phase == self.PHASE_TRAINING,
+                "model submissions are only accepted during the training phase",
+            )
+        round_number = max(self.current_round, 1)
+        submission = ModelSubmission(
+            cid=cid,
+            submitter=sender,
+            round_number=round_number,
+            timestamp=float(timestamp),
+        )
+        self.submissions[cid] = submission
+        self.round_submissions.setdefault(round_number, []).append(cid)
+        self.emit("ModelSubmitted", cid=cid, submitter=sender, round=round_number)
+        self.ctx.charge(20_000)
+        if self.mode == "async":
+            self._assign_scorers(submission)
+        return submission.as_record()
+
+    # ---------------------------------------------------------------- scoring
+    @contract_method
+    def startScoring(self) -> Dict[str, List[str]]:
+        """Close the training window and assign scorers to every submitted model."""
+        self.require(self.mode == "sync", "startScoring is only used in sync mode")
+        self.require(self.phase == self.PHASE_TRAINING, "no training phase to close")
+        self.phase = self.PHASE_SCORING
+        assignments: Dict[str, List[str]] = {}
+        for cid in self.round_submissions.get(self.current_round, []):
+            submission = self.submissions[cid]
+            if not submission.assigned_scorers:
+                self._assign_scorers(submission)
+            assignments[cid] = list(submission.assigned_scorers)
+        self.emit("StartScoring", round=self.current_round, assignments=assignments)
+        self.ctx.charge(10_000)
+        return assignments
+
+    @contract_method
+    def submitScore(self, cid: str, score: float, timestamp: float = 0.0) -> Dict[str, Any]:
+        """Submit a score for a model CID (valid assigned scorers only)."""
+        sender = self.ctx.sender
+        self.require(cid in self.submissions, "unknown model CID")
+        submission = self.submissions[cid]
+        self.require(sender in submission.assigned_scorers, "sender is not an assigned scorer for this model")
+        self.require(sender not in submission.scores, "scorer already submitted a score for this model")
+        if self.mode == "sync":
+            self.require(
+                self.phase == self.PHASE_SCORING,
+                "scores are only accepted during the scoring phase",
+            )
+        submission.scores[sender] = float(score)
+        submission.score_timestamps[sender] = float(timestamp)
+        pending = self.pending_assignments.get(sender, [])
+        if cid in pending:
+            pending.remove(cid)
+        self.emit("ScoreSubmitted", cid=cid, scorer=sender, score=float(score))
+        self.ctx.charge(15_000)
+        return submission.as_record()
+
+    @contract_method
+    def endRound(self) -> int:
+        """Close the scoring window (Sync orchestration)."""
+        self.require(self.mode == "sync", "endRound is only used in sync mode")
+        self.require(self.phase == self.PHASE_SCORING, "no scoring phase to close")
+        self.phase = self.PHASE_IDLE
+        self.emit("RoundEnded", round=self.current_round)
+        self.ctx.charge(5_000)
+        return self.current_round
+
+    # ------------------------------------------------------------------ views
+    @view_method
+    def getAggregators(self) -> List[str]:
+        """Registered aggregator addresses, in registration order."""
+        return list(self.aggregators)
+
+    @view_method
+    def getPhase(self) -> str:
+        """Current phase of the synchronous cycle."""
+        return self.phase
+
+    @view_method
+    def getCurrentRound(self) -> int:
+        """The current (or most recent) round number."""
+        return self.current_round
+
+    @view_method
+    def getLatestModelsWithScores(
+        self,
+        max_rounds: int = 0,
+        before_time: Optional[float] = None,
+        exclude_submitter: str = "",
+    ) -> List[Dict[str, Any]]:
+        """Models with their score lists, newest round first.
+
+        Args:
+            max_rounds: number of most recent rounds to include (0 = all).
+            before_time: only include submissions / scores visible at this
+                simulated time (used by asynchronous aggregators).
+            exclude_submitter: optionally hide one submitter's own models.
+        """
+        records: List[Dict[str, Any]] = []
+        for submission in self.submissions.values():
+            if before_time is not None and submission.timestamp > before_time:
+                continue
+            if exclude_submitter and submission.submitter == exclude_submitter:
+                continue
+            records.append(submission.as_record(before_time))
+        records.sort(key=lambda r: (-r["round"], r["timestamp"], r["cid"]))
+        if max_rounds > 0 and records:
+            newest = records[0]["round"]
+            records = [r for r in records if r["round"] > newest - max_rounds]
+        return records
+
+    @view_method
+    def getAssignedModels(self, scorer: str, before_time: Optional[float] = None) -> List[str]:
+        """CIDs assigned to ``scorer`` that it has not scored yet."""
+        pending = self.pending_assignments.get(scorer, [])
+        if before_time is None:
+            return list(pending)
+        return [cid for cid in pending if self.submissions[cid].timestamp <= before_time]
+
+    @view_method
+    def getSubmission(self, cid: str) -> Dict[str, Any]:
+        """Full record for a single CID."""
+        self.require(cid in self.submissions, "unknown model CID")
+        return self.submissions[cid].as_record()
+
+    @view_method
+    def roundSubmissionCount(self, round_number: int) -> int:
+        """Number of models submitted in a given round."""
+        return len(self.round_submissions.get(round_number, []))
+
+    # --------------------------------------------------------------- internals
+    def _assign_scorers(self, submission: ModelSubmission) -> None:
+        """Deterministically sample a majority subset of scorers for a model.
+
+        The selection hashes (seed, round, CID) so every chain node derives
+        the same assignment without an external randomness beacon.  The
+        submitter itself is excluded when enough other aggregators exist,
+        which is the bias-removal rationale of Section 3 step (2).
+        """
+        majority = len(self.aggregators) // 2 + 1
+        candidates = [a for a in self.aggregators if a != submission.submitter]
+        if len(candidates) < majority:
+            candidates = list(self.aggregators)
+        digest = hashlib.sha256(
+            f"{self.scorer_seed}:{submission.round_number}:{submission.cid}".encode()
+        ).digest()
+        # Deterministic shuffle: sort candidates by a per-candidate hash value.
+        def sort_key(address: str) -> str:
+            return hashlib.sha256(digest + address.encode()).hexdigest()
+
+        chosen = sorted(candidates, key=sort_key)[:majority]
+        submission.assigned_scorers = chosen
+        for scorer in chosen:
+            self.pending_assignments.setdefault(scorer, []).append(submission.cid)
+        self.emit(
+            "ScorersAssigned",
+            cid=submission.cid,
+            scorers=list(chosen),
+            round=submission.round_number,
+        )

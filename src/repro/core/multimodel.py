@@ -1,0 +1,133 @@
+"""Multi-model cross-silo collaboration via knowledge distillation (§5 Q1).
+
+The UnifyFL protocol exchanges *weights*, which requires every organisation to
+train the same architecture.  The paper's first future-work item is to lift
+that restriction.  This module implements the collaboration pattern the paper
+sketches ("knowledge distillation ... where clusters with varying model
+architectures can contribute to a shared learning objective"):
+
+* every organisation keeps its own architecture and its own private data;
+* each round, an organisation trains locally, then *distills* from the other
+  organisations' current models: the peers act as an ensemble teacher whose
+  softened predictions on the organisation's own inputs provide the soft
+  labels (no raw data ever leaves a silo — only models move, exactly as in
+  weight-exchanging UnifyFL).
+
+:class:`MultiModelCollaboration` drives that loop for a set of
+:class:`MultiModelParticipant` organisations and records per-round accuracy,
+so the extension benchmark can compare heterogeneous-architecture
+collaboration against isolated training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.ml.distillation import distill
+from repro.ml.models import Model
+from repro.ml.optim import SGD
+
+
+@dataclass
+class MultiModelParticipant:
+    """One organisation in a heterogeneous-architecture federation."""
+
+    name: str
+    model: Model
+    train_data: Dataset
+    learning_rate: float = 0.05
+    local_epochs: int = 1
+    batch_size: int = 16
+    #: weight of the distillation term when learning from peers.
+    distill_alpha: float = 0.5
+    distill_temperature: float = 2.0
+
+    def __post_init__(self) -> None:
+        if len(self.train_data) == 0:
+            raise ValueError(f"participant {self.name} has no training data")
+        if not 0.0 <= self.distill_alpha <= 1.0:
+            raise ValueError("distill_alpha must be in [0, 1]")
+
+
+@dataclass
+class MultiModelRoundRecord:
+    """Accuracy of every participant after one collaboration round."""
+
+    round_number: int
+    accuracies: Dict[str, float] = field(default_factory=dict)
+
+
+class MultiModelCollaboration:
+    """Round loop for distillation-based collaboration between different architectures."""
+
+    def __init__(
+        self,
+        participants: Sequence[MultiModelParticipant],
+        eval_data: Dataset,
+        seed: int = 0,
+    ):
+        if len(participants) < 2:
+            raise ValueError("multi-model collaboration needs at least two participants")
+        names = [p.name for p in participants]
+        if len(set(names)) != len(names):
+            raise ValueError("participant names must be unique")
+        class_counts = {p.model.num_classes for p in participants}
+        if len(class_counts) != 1:
+            raise ValueError("all participants must predict over the same class set")
+        if len(eval_data) == 0:
+            raise ValueError("eval_data must be non-empty")
+        self.participants = list(participants)
+        self.eval_data = eval_data
+        self.history: List[MultiModelRoundRecord] = []
+        self._rng = np.random.default_rng(seed)
+
+    def run_round(self, collaborate: bool = True) -> MultiModelRoundRecord:
+        """Run one round: local training for everyone, then (optionally) distillation."""
+        for participant in self.participants:
+            participant.model.fit(
+                participant.train_data.x,
+                participant.train_data.y,
+                epochs=participant.local_epochs,
+                batch_size=participant.batch_size,
+                optimizer=SGD(learning_rate=participant.learning_rate),
+                rng=self._rng,
+            )
+        if collaborate:
+            for participant in self.participants:
+                teachers = [p.model for p in self.participants if p.name != participant.name]
+                distill(
+                    participant.model,
+                    teachers,
+                    participant.train_data.x,
+                    participant.train_data.y,
+                    epochs=participant.local_epochs,
+                    batch_size=participant.batch_size,
+                    alpha=participant.distill_alpha,
+                    temperature=participant.distill_temperature,
+                    optimizer=SGD(learning_rate=participant.learning_rate),
+                    rng=self._rng,
+                )
+        record = MultiModelRoundRecord(round_number=len(self.history) + 1)
+        for participant in self.participants:
+            _, accuracy = participant.model.evaluate(self.eval_data.x, self.eval_data.y)
+            record.accuracies[participant.name] = accuracy
+        self.history.append(record)
+        return record
+
+    def run(self, num_rounds: int, collaborate: bool = True) -> List[MultiModelRoundRecord]:
+        """Run several rounds and return the full history."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        for _ in range(num_rounds):
+            self.run_round(collaborate=collaborate)
+        return list(self.history)
+
+    def final_accuracies(self) -> Dict[str, float]:
+        """Accuracy of every participant after the most recent round."""
+        if not self.history:
+            raise ValueError("no rounds have been run yet")
+        return dict(self.history[-1].accuracies)

@@ -1,0 +1,150 @@
+"""Exporting experiment results to JSON and CSV.
+
+The paper's artifact stores per-run metrics for plotting; this module provides
+the equivalent for the reproduction: a stable, versioned JSON document per
+:class:`~repro.core.results.ExperimentResult` (full per-round history
+included) and a flat CSV with one row per aggregator for spreadsheet-style
+comparison across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.core.results import AggregatorResult, ExperimentResult
+
+_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def result_to_dict(result: ExperimentResult) -> Dict:
+    """Convert an experiment result into a JSON-serialisable dictionary."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "name": result.name,
+        "mode": result.mode,
+        "scoring_algorithm": result.scoring_algorithm,
+        "partitioning": result.partitioning,
+        "rounds": result.rounds,
+        "chain_metrics": dict(result.chain_metrics),
+        "storage_metrics": dict(result.storage_metrics),
+        "resource_reports": {
+            process: report.as_dict() for process, report in result.resource_reports.items()
+        },
+        "aggregators": [_aggregator_to_dict(a) for a in result.aggregators],
+    }
+
+
+def _aggregator_to_dict(aggregator: AggregatorResult) -> Dict:
+    return {
+        "name": aggregator.name,
+        "policy": aggregator.policy,
+        "strategy": aggregator.strategy,
+        "total_time": aggregator.total_time,
+        "idle_time": aggregator.idle_time,
+        "straggler_count": aggregator.straggler_count,
+        "global_accuracy": aggregator.global_accuracy,
+        "global_loss": aggregator.global_loss,
+        "local_accuracy": aggregator.local_accuracy,
+        "local_loss": aggregator.local_loss,
+        "history": [
+            {
+                "round": record.round_number,
+                "global_accuracy": record.global_accuracy,
+                "global_loss": record.global_loss,
+                "local_accuracy": record.local_accuracy,
+                "local_loss": record.local_loss,
+                "models_pulled": record.models_pulled,
+                "models_scored": record.models_scored,
+                "sim_time": record.sim_time,
+                "straggled": record.straggled,
+            }
+            for record in aggregator.history
+        ],
+    }
+
+
+def save_result_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write an experiment result to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_result_json(path: PathLike) -> Dict:
+    """Load a previously saved result document.
+
+    Raises:
+        ValueError: if the document does not carry a known schema version.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema_version") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version {document.get('schema_version')!r} in {path}"
+        )
+    return document
+
+
+_CSV_COLUMNS = [
+    "experiment",
+    "mode",
+    "partitioning",
+    "scoring_algorithm",
+    "rounds",
+    "aggregator",
+    "policy",
+    "strategy",
+    "total_time",
+    "idle_time",
+    "straggler_count",
+    "global_accuracy",
+    "global_loss",
+    "local_accuracy",
+    "local_loss",
+]
+
+
+def save_results_csv(results: Iterable[ExperimentResult], path: PathLike) -> Path:
+    """Write one CSV row per aggregator across several experiments."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_COLUMNS)
+        writer.writeheader()
+        for result in results:
+            for aggregator in result.aggregators:
+                writer.writerow(
+                    {
+                        "experiment": result.name,
+                        "mode": result.mode,
+                        "partitioning": result.partitioning,
+                        "scoring_algorithm": result.scoring_algorithm,
+                        "rounds": result.rounds,
+                        "aggregator": aggregator.name,
+                        "policy": aggregator.policy,
+                        "strategy": aggregator.strategy,
+                        "total_time": f"{aggregator.total_time:.3f}",
+                        "idle_time": f"{aggregator.idle_time:.3f}",
+                        "straggler_count": aggregator.straggler_count,
+                        "global_accuracy": f"{aggregator.global_accuracy:.6f}",
+                        "global_loss": f"{aggregator.global_loss:.6f}",
+                        "local_accuracy": f"{aggregator.local_accuracy:.6f}",
+                        "local_loss": f"{aggregator.local_loss:.6f}",
+                    }
+                )
+    return path
+
+
+def load_results_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`save_results_csv` back into row dictionaries."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,119 @@
+"""Result records and table formatting for UnifyFL experiments.
+
+The benchmark harness prints tables in the same shape as the paper's
+Tables 1, 5, 6 and 7: one row per aggregator with the time, policy, and the
+global/local accuracy and loss, plus resource-overhead rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.aggregator import AggregatorRoundRecord
+from repro.simnet.resources import ResourceReport
+
+
+@dataclass
+class AggregatorResult:
+    """Final metrics of one aggregator in a UnifyFL run (a Table 5/6 row)."""
+
+    name: str
+    policy: str
+    strategy: str
+    total_time: float
+    global_accuracy: float
+    global_loss: float
+    local_accuracy: float
+    local_loss: float
+    idle_time: float = 0.0
+    straggler_count: int = 0
+    history: List[AggregatorRoundRecord] = field(default_factory=list)
+
+    def accuracy_series(self) -> List[float]:
+        """Global accuracy over rounds (for Figure-7-style time series)."""
+        return [r.global_accuracy for r in self.history]
+
+    def time_series(self) -> List[float]:
+        """Simulated completion time of each round."""
+        return [r.sim_time for r in self.history]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one UnifyFL experiment."""
+
+    name: str
+    mode: str
+    scoring_algorithm: str
+    partitioning: str
+    rounds: int
+    aggregators: List[AggregatorResult]
+    chain_metrics: Dict[str, float] = field(default_factory=dict)
+    storage_metrics: Dict[str, float] = field(default_factory=dict)
+    resource_reports: Dict[str, ResourceReport] = field(default_factory=dict)
+
+    @property
+    def mean_global_accuracy(self) -> float:
+        """Average final global accuracy across aggregators."""
+        return sum(a.global_accuracy for a in self.aggregators) / len(self.aggregators)
+
+    @property
+    def mean_total_time(self) -> float:
+        """Average total simulated time across aggregators."""
+        return sum(a.total_time for a in self.aggregators) / len(self.aggregators)
+
+    @property
+    def max_total_time(self) -> float:
+        """Slowest aggregator's total simulated time (the federation makespan)."""
+        return max(a.total_time for a in self.aggregators)
+
+    def aggregator(self, name: str) -> AggregatorResult:
+        """Look up one aggregator's result by cluster name."""
+        for result in self.aggregators:
+            if result.name == name:
+                return result
+        raise KeyError(f"no aggregator named '{name}' in experiment '{self.name}'")
+
+
+def format_run_table(result: ExperimentResult, percent: bool = True) -> str:
+    """Render an experiment in the layout of the paper's Tables 5/6."""
+    scale = 100.0 if percent else 1.0
+    header = (
+        f"{'Aggregator':<12}{'Time':>8}  {'Policy':<16}"
+        f"{'Glob Acc':>9}{'Loc Acc':>9}{'Glob Loss':>10}{'Loc Loss':>10}"
+    )
+    lines = [f"Run: {result.name}  (mode={result.mode}, scoring={result.scoring_algorithm}, "
+             f"partition={result.partitioning}, rounds={result.rounds})", header, "-" * len(header)]
+    for agg in result.aggregators:
+        lines.append(
+            f"{agg.name:<12}{agg.total_time:>8.0f}  {agg.policy:<16}"
+            f"{agg.global_accuracy * scale:>9.2f}{agg.local_accuracy * scale:>9.2f}"
+            f"{agg.global_loss:>10.2f}{agg.local_loss:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_resource_table(reports: Dict[str, ResourceReport]) -> str:
+    """Render the Table 7 system-overhead layout."""
+    header = f"{'Process':<12}{'Type':<12}{'Mean':>12}{'Std/Dev':>12}"
+    lines = ["System metrics (Table 7 layout)", header, "-" * len(header)]
+    for process_type in sorted(reports):
+        report = reports[process_type]
+        lines.append(f"{process_type:<12}{'cpu %':<12}{report.cpu_mean:>12.3f}{report.cpu_std:>12.3f}")
+        lines.append(f"{'':<12}{'mem (MB)':<12}{report.mem_mean_mb:>12.3f}{report.mem_std_mb:>12.3f}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    results: Sequence[ExperimentResult], labels: Optional[Sequence[str]] = None
+) -> str:
+    """Summarise several experiments side by side (accuracy and makespan)."""
+    labels = list(labels) if labels is not None else [r.name for r in results]
+    header = f"{'Run':<34}{'Mean Glob Acc %':>16}{'Makespan (s)':>14}"
+    lines = [header, "-" * len(header)]
+    for label, result in zip(labels, results):
+        lines.append(
+            f"{label:<34}{result.mean_global_accuracy * 100:>16.2f}{result.max_total_time:>14.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,343 @@
+"""End-to-end experiment runner.
+
+:class:`ExperimentRunner` wires every substrate together from an
+:class:`~repro.core.config.ExperimentConfig`:
+
+1. generate the workload's synthetic dataset and partition it — first across
+   clusters (IID or Dirichlet non-IID), then across each cluster's clients;
+2. stand up the private chain (one validator account per organisation), deploy
+   the UnifyFL contract, and start one IPFS node per organisation joined into
+   a swarm;
+3. build the clusters: clients, scorer, strategy, policies, optional attack;
+4. drive the federation with the Sync or Async orchestrator; and
+5. collect an :class:`~repro.core.results.ExperimentResult` with per-aggregator
+   metrics, chain/storage overhead counters and the resource report.
+
+The same runner also exposes the paper's baselines over identical data so
+benchmark comparisons are apples to apples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.chain.account import Account
+from repro.chain.blockchain import Blockchain
+from repro.core.aggregator import UnifyFLAggregator
+from repro.core.attacks import build_attack
+from repro.core.baselines import (
+    BaselineResult,
+    CentralizedMultilevelBaseline,
+    NoCollabBaseline,
+    SingleLevelFL,
+)
+from repro.core.config import ClusterConfig, ExperimentConfig, WorkloadConfig
+from repro.core.contract import UnifyFLContract
+from repro.core.orchestrator import AsyncOrchestrator, OrchestrationResult, SyncOrchestrator
+from repro.core.results import AggregatorResult, ExperimentResult
+from repro.core.scorer import build_scorer
+from repro.core.timing import ClusterTimingModel
+from repro.datasets.partition import DirichletPartitioner, IIDPartitioner, ShardPartitioner
+from repro.datasets.synthetic import Dataset, SyntheticCIFAR10, SyntheticTinyImageNet
+from repro.fl.client import Client, ClientConfig
+from repro.ipfs.swarm import IPFSSwarm
+from repro.ml.models import Model, build_model
+from repro.simnet.resources import ResourceMonitor
+
+#: constant daemon footprints reported in Section 4.2.7.
+GETH_CPU_PERCENT = 0.2
+GETH_MEMORY_MB = 6.0
+IPFS_CPU_PERCENT = 3.5
+IPFS_MEMORY_MB = 19.0
+
+
+class ExperimentRunner:
+    """Builds and runs one UnifyFL experiment from its configuration."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.monitor = ResourceMonitor() if config.monitor_resources else None
+
+        self.train_data, self.test_data = self._build_dataset(config.workload, config.seed)
+        self.model_template = self._build_model(config.workload, config.seed)
+        self.timing_model = ClusterTimingModel(
+            config.workload, block_period=config.block_period, seed=config.seed
+        )
+
+        (
+            self.cluster_train_data,
+            self.cluster_client_data,
+            self.cluster_score_data,
+        ) = self._partition_data()
+
+        self.accounts: Dict[str, Account] = {}
+        self.chain: Optional[Blockchain] = None
+        self.swarm: Optional[IPFSSwarm] = None
+        self.aggregators: List[UnifyFLAggregator] = []
+        self._driver_account: Optional[Account] = None
+
+    # ------------------------------------------------------------------- data
+    @staticmethod
+    def _build_dataset(workload: WorkloadConfig, seed: int) -> Tuple[Dataset, Dataset]:
+        if workload.dataset == "cifar10":
+            factory = SyntheticCIFAR10(
+                image_size=workload.image_size,
+                samples_per_class=workload.samples_per_class,
+                test_samples_per_class=workload.test_samples_per_class,
+                seed=seed,
+            )
+        elif workload.dataset == "tiny_imagenet":
+            factory = SyntheticTinyImageNet(
+                num_classes=workload.num_classes,
+                image_size=workload.image_size,
+                samples_per_class=workload.samples_per_class,
+                test_samples_per_class=workload.test_samples_per_class,
+                seed=seed,
+            )
+        else:
+            raise ValueError(f"unknown dataset '{workload.dataset}'")
+        return factory.splits()
+
+    @staticmethod
+    def _build_model(workload: WorkloadConfig, seed: int) -> Model:
+        kwargs = {
+            "image_size": workload.image_size,
+            "num_classes": workload.num_classes,
+            "seed": seed,
+        }
+        return build_model(workload.model, **kwargs)
+
+    def _cluster_partitioner(self, num_partitions: int):
+        if self.config.partitioning == "iid":
+            return IIDPartitioner(num_partitions, seed=self.config.seed)
+        if self.config.partitioning == "dirichlet":
+            return DirichletPartitioner(
+                num_partitions,
+                alpha=self.config.dirichlet_alpha,
+                min_samples=max(4, self.config.workload.batch_size),
+                seed=self.config.seed,
+            )
+        return ShardPartitioner(num_partitions, seed=self.config.seed)
+
+    def _partition_data(self):
+        """Split the training data across clusters, clients and scorer test sets."""
+        clusters = self.config.clusters
+        cluster_partitioner = self._cluster_partitioner(len(clusters))
+        cluster_train = cluster_partitioner.partition(self.train_data)
+
+        cluster_train_data: Dict[str, Dataset] = {}
+        cluster_client_data: Dict[str, List[Dataset]] = {}
+        cluster_score_data: Dict[str, Dataset] = {}
+
+        # Scorer test sets: an IID slice of the held-out test data per cluster,
+        # modelling each organisation's private evaluation set.
+        score_partitioner = IIDPartitioner(len(clusters), seed=self.config.seed + 17)
+        score_parts = score_partitioner.partition(self.test_data)
+
+        for i, cluster in enumerate(clusters):
+            data = cluster_train[i]
+            cluster_train_data[cluster.name] = data
+            client_partitioner = IIDPartitioner(cluster.num_clients, seed=self.config.seed + 100 + i)
+            cluster_client_data[cluster.name] = client_partitioner.partition(data)
+            cluster_score_data[cluster.name] = score_parts[i]
+        return cluster_train_data, cluster_client_data, cluster_score_data
+
+    # ------------------------------------------------------------------ setup
+    def _build_clients(self, cluster: ClusterConfig, index: int) -> List[Client]:
+        workload = self.config.workload
+        client_config = ClientConfig(
+            local_epochs=workload.local_epochs,
+            batch_size=workload.batch_size,
+            learning_rate=workload.learning_rate,
+            optimizer="sgd",
+            seed=self.config.seed + index,
+            dp_clip_norm=cluster.dp_clip_norm,
+            dp_noise_multiplier=cluster.dp_noise_multiplier,
+        )
+        clients = []
+        for j, partition in enumerate(self.cluster_client_data[cluster.name]):
+            clients.append(
+                Client(
+                    client_id=f"{cluster.name}-client{j}",
+                    model=self.model_template.clone(),
+                    train_data=partition,
+                    config=client_config,
+                )
+            )
+        return clients
+
+    def build(self) -> None:
+        """Instantiate the chain, storage swarm and every aggregator."""
+        clusters = self.config.clusters
+        self.accounts = {
+            cluster.name: Account.create(label=cluster.name, seed=self.config.seed * 1000 + i)
+            for i, cluster in enumerate(clusters)
+        }
+        self._driver_account = Account.create(label="driver", seed=self.config.seed * 1000 + 999)
+        validators = list(self.accounts.values())
+        self.chain = Blockchain(validators, block_period=self.config.block_period)
+        self.chain.register_account(self._driver_account)
+        self.chain.deploy_contract(
+            UnifyFLContract(mode=self.config.mode, scorer_seed=self.config.seed)
+        )
+        self.swarm = IPFSSwarm()
+
+        self.aggregators = []
+        for i, cluster in enumerate(clusters):
+            node = self.swarm.create_node(f"{cluster.name}-ipfs")
+            clients = self._build_clients(cluster, i)
+            scorer = build_scorer(
+                self.config.scoring_algorithm,
+                model_template=self.model_template,
+                test_data=self.cluster_score_data[cluster.name],
+            )
+            attack = build_attack(cluster.attack) if cluster.malicious else None
+            aggregator = UnifyFLAggregator(
+                config=cluster,
+                workload=self.config.workload,
+                account=self.accounts[cluster.name],
+                chain=self.chain,
+                ipfs_node=node,
+                model_template=self.model_template,
+                clients=clients,
+                scorer=scorer,
+                eval_data=self.test_data,
+                timing_model=self.timing_model,
+                attack=attack,
+                resource_monitor=self.monitor,
+                seed=self.config.seed + i,
+            )
+            self.aggregators.append(aggregator)
+
+    # --------------------------------------------------------------------- run
+    def run(self, rounds: Optional[int] = None) -> ExperimentResult:
+        """Execute the experiment and return its result."""
+        if self.chain is None or not self.aggregators:
+            self.build()
+        assert self.chain is not None and self._driver_account is not None
+        rounds = rounds or self.config.rounds
+
+        if self.config.mode == "sync":
+            orchestrator = SyncOrchestrator(
+                self.chain,
+                self._driver_account,
+                self.aggregators,
+                self.timing_model,
+                training_window=self.config.phase_duration,
+                scoring_window=None if self.config.phase_duration is None else self.config.phase_duration,
+                scoring_algorithm=self.config.scoring_algorithm,
+            )
+        else:
+            orchestrator = AsyncOrchestrator(
+                self.chain, self._driver_account, self.aggregators, self.timing_model
+            )
+        orchestration = orchestrator.run(rounds)
+        self._record_daemon_overhead(rounds)
+        return self._collect_result(orchestration, rounds)
+
+    def _record_daemon_overhead(self, rounds: int) -> None:
+        if self.monitor is None:
+            return
+        for _ in range(max(1, rounds)):
+            for _ in self.aggregators:
+                self.monitor.record("geth", GETH_CPU_PERCENT + self._rng.normal(0, 0.03), GETH_MEMORY_MB + self._rng.normal(0, 0.4))
+                self.monitor.record("ipfs", IPFS_CPU_PERCENT + self._rng.normal(0, 0.3), IPFS_MEMORY_MB + self._rng.normal(0, 1.2))
+
+    def _collect_result(self, orchestration: OrchestrationResult, rounds: int) -> ExperimentResult:
+        assert self.chain is not None and self.swarm is not None
+        aggregator_results = []
+        for aggregator in self.aggregators:
+            record = aggregator.final_record
+            aggregator_results.append(
+                AggregatorResult(
+                    name=aggregator.name,
+                    policy=self._policy_label(aggregator.config),
+                    strategy=aggregator.config.strategy,
+                    total_time=aggregator.total_time(),
+                    global_accuracy=record.global_accuracy if record else float("nan"),
+                    global_loss=record.global_loss if record else float("nan"),
+                    local_accuracy=record.local_accuracy if record else float("nan"),
+                    local_loss=record.local_loss if record else float("nan"),
+                    idle_time=orchestration.idle_times.get(aggregator.name, 0.0),
+                    straggler_count=orchestration.straggler_counts.get(aggregator.name, 0),
+                    history=list(aggregator.history),
+                )
+            )
+        storage_metrics = {
+            "stored_bytes": float(self.swarm.total_stored_bytes()),
+            "transferred_bytes": float(self.swarm.total_transferred_bytes()),
+            "transfer_count": float(len(self.swarm.transfers)),
+        }
+        resource_reports = self.monitor.full_report() if self.monitor and len(self.monitor) else {}
+        return ExperimentResult(
+            name=self.config.name,
+            mode=self.config.mode,
+            scoring_algorithm=self.config.scoring_algorithm,
+            partitioning=self._partition_label(),
+            rounds=rounds,
+            aggregators=aggregator_results,
+            chain_metrics=self.chain.metrics.as_dict(),
+            storage_metrics=storage_metrics,
+            resource_reports=resource_reports,
+        )
+
+    def _policy_label(self, cluster: ClusterConfig) -> str:
+        label = cluster.aggregation_policy
+        if label in ("top_k", "random_k"):
+            label = f"{label}({cluster.policy_k})"
+        return f"{label}/{cluster.scoring_policy}"
+
+    def _partition_label(self) -> str:
+        if self.config.partitioning == "dirichlet":
+            return f"niid(alpha={self.config.dirichlet_alpha})"
+        return self.config.partitioning
+
+    # --------------------------------------------------------------- baselines
+    def _baseline_clients(self) -> Dict[str, List[Client]]:
+        return {
+            cluster.name: self._build_clients(cluster, i)
+            for i, cluster in enumerate(self.config.clusters)
+        }
+
+    def run_no_collab_baseline(self, rounds: Optional[int] = None) -> BaselineResult:
+        """Run the non-collaborative baseline over the same partitions."""
+        baseline = NoCollabBaseline(
+            self.config.workload,
+            self.config.clusters,
+            self._baseline_clients(),
+            self.model_template,
+            self.test_data,
+            timing_model=self.timing_model,
+        )
+        return baseline.run(rounds or self.config.rounds, seed=self.config.seed)
+
+    def run_centralized_baseline(self, rounds: Optional[int] = None) -> BaselineResult:
+        """Run the HBFL-style centralized multilevel baseline."""
+        baseline = CentralizedMultilevelBaseline(
+            self.config.workload,
+            self.config.clusters,
+            self._baseline_clients(),
+            self.model_template,
+            self.test_data,
+            timing_model=self.timing_model,
+        )
+        return baseline.run(rounds or self.config.rounds, seed=self.config.seed)
+
+    def run_single_level_baseline(self, rounds: Optional[int] = None) -> BaselineResult:
+        """Run flat single-level FL over all clients of all clusters."""
+        all_clients: List[Client] = []
+        for i, cluster in enumerate(self.config.clusters):
+            all_clients.extend(self._build_clients(cluster, i))
+        baseline = SingleLevelFL(
+            self.config.workload, all_clients, self.model_template, self.test_data
+        )
+        return baseline.run(rounds or self.config.rounds, seed=self.config.seed)
+
+
+def run_experiment(config: ExperimentConfig, rounds: Optional[int] = None) -> ExperimentResult:
+    """One-call convenience wrapper: build and run an experiment."""
+    runner = ExperimentRunner(config)
+    return runner.run(rounds=rounds)

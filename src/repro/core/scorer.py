@@ -1,0 +1,229 @@
+"""Model scoring algorithms (Section 2.6 of the paper).
+
+Two scorers are implemented, matching the paper's implementation:
+
+* :class:`AccuracyScorer` — evaluate the candidate model on the scorer's own
+  held-out test set; the score is the accuracy.  Works in both Sync and Async
+  modes (and is the paper's default for exactly that reason) but is the more
+  computationally expensive option.
+* :class:`MultiKRUMScorer` — similarity-based scoring following Multi-KRUM
+  (Blanchard et al.): a model's score is derived from the sum of squared
+  distances to its closest neighbours among all models submitted in the same
+  round.  Cheap to compute, but requires every model of the round at once,
+  so it is only available in Sync mode.
+
+Scores are normalised so that *higher is better* for both algorithms, which
+lets the performance-based aggregation policies treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.ml.models import Model
+from repro.ml.tensor_utils import flatten_weights
+
+Weights = List[np.ndarray]
+
+
+class Scorer:
+    """Base class for scoring algorithms."""
+
+    name = "scorer"
+
+    #: whether the algorithm needs every model of the round simultaneously.
+    requires_full_round = False
+
+    def score(self, weights: Weights, context: Optional[Dict] = None) -> float:
+        """Score a single model (higher is better)."""
+        raise NotImplementedError
+
+    def score_round(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
+        """Score every model submitted in a round (cid -> score)."""
+        return {cid: self.score(w) for cid, w in round_weights.items()}
+
+
+class AccuracyScorer(Scorer):
+    """Score a model by its accuracy on the scorer's local test dataset."""
+
+    name = "accuracy"
+    requires_full_round = False
+
+    def __init__(self, model_template: Model, test_data: Dataset):
+        if len(test_data) == 0:
+            raise ValueError("AccuracyScorer needs a non-empty test dataset")
+        self._model = model_template.clone()
+        self._test_data = test_data
+
+    def score(self, weights: Weights, context: Optional[Dict] = None) -> float:
+        self._model.set_weights(weights)
+        _, accuracy = self._model.evaluate(self._test_data.x, self._test_data.y)
+        return float(accuracy)
+
+    @property
+    def test_set_size(self) -> int:
+        """Number of evaluation samples the scorer owns (drives scoring cost)."""
+        return len(self._test_data)
+
+
+class MultiKRUMScorer(Scorer):
+    """Multi-KRUM similarity scoring over the models of one round.
+
+    For each candidate model, compute the squared L2 distances to every other
+    model of the round, sum the smallest ``n - f - 2`` of them (``f`` is the
+    assumed number of Byzantine participants), and convert the sum to a
+    score where smaller distance sums (models closer to the majority) rank
+    higher.  Scores are mapped into (0, 1] so they are comparable with
+    accuracy-based scores for the aggregation policies.
+    """
+
+    name = "multikrum"
+    requires_full_round = True
+
+    def __init__(self, byzantine_tolerance: int = 0):
+        if byzantine_tolerance < 0:
+            raise ValueError("byzantine_tolerance must be non-negative")
+        self.byzantine_tolerance = byzantine_tolerance
+
+    def score(self, weights: Weights, context: Optional[Dict] = None) -> float:
+        if not context or "round_weights" not in context:
+            raise ValueError(
+                "MultiKRUM requires the full set of round models via context['round_weights']"
+            )
+        round_weights: Dict[str, Weights] = context["round_weights"]
+        target_cid: Optional[str] = context.get("cid")
+        scores = self.score_round(round_weights)
+        if target_cid is not None and target_cid in scores:
+            return scores[target_cid]
+        # Fall back to matching by value when the CID was not supplied.
+        flat_target = flatten_weights(weights)
+        for cid, candidate in round_weights.items():
+            if np.allclose(flatten_weights(candidate), flat_target):
+                return scores[cid]
+        raise ValueError("the model being scored is not part of the provided round")
+
+    def score_round(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
+        if not round_weights:
+            return {}
+        cids = sorted(round_weights)
+        vectors = np.stack([flatten_weights(round_weights[c]) for c in cids])
+        n = len(cids)
+        if n == 1:
+            return {cids[0]: 1.0}
+        # Pairwise squared distances.
+        diffs = vectors[:, None, :] - vectors[None, :, :]
+        sq_dists = (diffs**2).sum(axis=2)
+        closest = max(1, n - self.byzantine_tolerance - 2)
+        krum_sums = np.empty(n)
+        for i in range(n):
+            others = np.delete(sq_dists[i], i)
+            others.sort()
+            krum_sums[i] = others[: min(closest, len(others))].sum()
+        # Smaller distance sum -> higher score, mapped into (0, 1].
+        scale = krum_sums.max()
+        if scale <= 0:
+            return {cid: 1.0 for cid in cids}
+        scores = 1.0 - (krum_sums / (scale * (1.0 + 1e-9)))
+        # Keep strictly positive so "above zero" style policies behave sensibly.
+        scores = 0.01 + 0.99 * scores
+        return {cid: float(s) for cid, s in zip(cids, scores)}
+
+
+class LossScorer(Scorer):
+    """Score a model by the inverse of its loss on the scorer's test dataset.
+
+    Like accuracy-based scoring, this works in both Sync and Async modes and
+    needs a local evaluation set; unlike accuracy it stays informative when
+    accuracy saturates (early rounds near the random-guess floor, or late
+    rounds near the ceiling).  The loss is mapped to ``1 / (1 + loss)`` so
+    higher is better and the range is (0, 1], comparable with the other
+    scorers.
+    """
+
+    name = "loss"
+    requires_full_round = False
+
+    def __init__(self, model_template: Model, test_data: Dataset):
+        if len(test_data) == 0:
+            raise ValueError("LossScorer needs a non-empty test dataset")
+        self._model = model_template.clone()
+        self._test_data = test_data
+
+    def score(self, weights: Weights, context: Optional[Dict] = None) -> float:
+        self._model.set_weights(weights)
+        loss, _ = self._model.evaluate(self._test_data.x, self._test_data.y)
+        return float(1.0 / (1.0 + max(loss, 0.0)))
+
+
+class CosineSimilarityScorer(Scorer):
+    """Score a model by its mean cosine similarity to the other round models.
+
+    A cheap similarity-based alternative to MultiKRUM: an honest model points
+    in roughly the same direction as the honest majority, while a poisoned
+    (sign-flipped, scaled or random) model does not.  Like MultiKRUM it needs
+    every model of the round at once and is therefore Sync-only.  Scores are
+    mapped from [-1, 1] into [0, 1].
+    """
+
+    name = "cosine"
+    requires_full_round = True
+
+    def score(self, weights: Weights, context: Optional[Dict] = None) -> float:
+        if not context or "round_weights" not in context:
+            raise ValueError(
+                "cosine scoring requires the full set of round models via context['round_weights']"
+            )
+        round_weights: Dict[str, Weights] = context["round_weights"]
+        target_cid: Optional[str] = context.get("cid")
+        scores = self.score_round(round_weights)
+        if target_cid is not None and target_cid in scores:
+            return scores[target_cid]
+        flat_target = flatten_weights(weights)
+        for cid, candidate in round_weights.items():
+            if np.allclose(flatten_weights(candidate), flat_target):
+                return scores[cid]
+        raise ValueError("the model being scored is not part of the provided round")
+
+    def score_round(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
+        if not round_weights:
+            return {}
+        cids = sorted(round_weights)
+        vectors = np.stack([flatten_weights(round_weights[c]) for c in cids])
+        norms = np.linalg.norm(vectors, axis=1)
+        norms[norms == 0] = 1.0
+        unit = vectors / norms[:, None]
+        similarity = unit @ unit.T
+        n = len(cids)
+        if n == 1:
+            return {cids[0]: 1.0}
+        scores = {}
+        for i, cid in enumerate(cids):
+            others = np.delete(similarity[i], i)
+            scores[cid] = float((others.mean() + 1.0) / 2.0)
+        return scores
+
+
+def build_scorer(
+    name: str,
+    model_template: Optional[Model] = None,
+    test_data: Optional[Dataset] = None,
+    byzantine_tolerance: int = 0,
+) -> Scorer:
+    """Construct a scorer by name (``accuracy``, ``loss``, ``multikrum`` or ``cosine``)."""
+    key = name.lower()
+    if key == "accuracy":
+        if model_template is None or test_data is None:
+            raise ValueError("accuracy scoring requires a model template and a test dataset")
+        return AccuracyScorer(model_template, test_data)
+    if key == "loss":
+        if model_template is None or test_data is None:
+            raise ValueError("loss scoring requires a model template and a test dataset")
+        return LossScorer(model_template, test_data)
+    if key == "multikrum":
+        return MultiKRUMScorer(byzantine_tolerance=byzantine_tolerance)
+    if key == "cosine":
+        return CosineSimilarityScorer()
+    raise ValueError(f"unknown scoring algorithm '{name}'")

@@ -1,0 +1,41 @@
+"""Synthetic workloads and data partitioners for the UnifyFL evaluation.
+
+The paper evaluates on CIFAR-10 and Tiny ImageNet, partitioned across FL
+clients either uniformly (IID) or by a Dirichlet distribution with
+α ∈ {0.1, 0.5} (non-IID).  Real datasets are not available offline, so
+:mod:`repro.datasets.synthetic` generates class-conditional Gaussian image
+datasets with the same shape (channels, classes, sample counts scaled down)
+— what matters for the paper's results is the *partitioning structure*, which
+:mod:`repro.datasets.partition` reproduces exactly.
+"""
+
+from repro.datasets.partition import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    Partitioner,
+    ShardPartitioner,
+    partition_dataset,
+)
+from repro.datasets.synthetic import (
+    Dataset,
+    SyntheticCIFAR10,
+    SyntheticImageDataset,
+    SyntheticTinyImageNet,
+    make_classification_dataset,
+)
+from repro.datasets.dataloader import DataLoader, train_test_split
+
+__all__ = [
+    "DirichletPartitioner",
+    "IIDPartitioner",
+    "Partitioner",
+    "ShardPartitioner",
+    "partition_dataset",
+    "Dataset",
+    "SyntheticCIFAR10",
+    "SyntheticImageDataset",
+    "SyntheticTinyImageNet",
+    "make_classification_dataset",
+    "DataLoader",
+    "train_test_split",
+]

@@ -1,0 +1,71 @@
+"""Minibatch iteration and train/test splitting helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled minibatches.
+
+    Mirrors the small subset of the PyTorch ``DataLoader`` interface the FL
+    clients need: iteration yields ``(x_batch, y_batch)`` tuples and ``len``
+    returns the number of batches per epoch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: Optional[int] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if len(dataset) == 0:
+            raise ValueError("cannot construct a DataLoader over an empty dataset")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.dataset), self.batch_size)
+        if rem and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield self.dataset.x[idx], self.dataset.y[idx]
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: Optional[int] = None
+) -> Tuple[Dataset, Dataset]:
+    """Split a dataset into train and test subsets by a random permutation."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(dataset)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("dataset too small for the requested split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    test_idx = np.sort(order[:n_test])
+    train_idx = np.sort(order[n_test:])
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )

@@ -1,0 +1,41 @@
+"""Single-silo federated learning framework (the Flower-equivalent substrate).
+
+UnifyFL is implemented *on top of* an existing FL framework: inside every
+silo (cluster), an aggregator coordinates its own clients through standard
+FedAvg-style rounds.  This package provides that layer:
+
+* :class:`~repro.fl.client.Client` — owns a local data partition, trains the
+  global model for a configurable number of local epochs, and evaluates.
+* :class:`~repro.fl.strategy.FedAvg` / :class:`~repro.fl.strategy.FedYogi` /
+  :class:`~repro.fl.strategy.FedAdagrad` — aggregation strategies.
+* :class:`~repro.fl.server.FLServer` — the in-cluster aggregator running the
+  client/strategy round loop and recording history.
+"""
+
+from repro.fl.client import Client, ClientConfig, FitResult
+from repro.fl.history import RoundMetrics, TrainingHistory
+from repro.fl.privacy import GaussianDPMechanism, PrivacyAccountant
+from repro.fl.server import FLServer
+from repro.fl.strategy import (
+    FedAdagrad,
+    FedAvg,
+    FedYogi,
+    Strategy,
+    build_strategy,
+)
+
+__all__ = [
+    "Client",
+    "ClientConfig",
+    "FitResult",
+    "RoundMetrics",
+    "TrainingHistory",
+    "GaussianDPMechanism",
+    "PrivacyAccountant",
+    "FLServer",
+    "FedAdagrad",
+    "FedAvg",
+    "FedYogi",
+    "Strategy",
+    "build_strategy",
+]

@@ -1,0 +1,101 @@
+"""In-cluster FL aggregation server.
+
+This is the single-silo ("single-level FL") loop the paper's Table 1 runs in
+its *No Collab* configuration and that every UnifyFL cluster runs internally
+each round: broadcast global weights to the cluster's clients, collect their
+locally trained weights, aggregate with the cluster's strategy, and evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.fl.client import Client, FitResult
+from repro.fl.history import RoundMetrics, TrainingHistory
+from repro.fl.strategy import FedAvg, Strategy
+
+
+class FLServer:
+    """Coordinates FedAvg-style rounds over a fixed set of clients."""
+
+    def __init__(
+        self,
+        server_id: str,
+        model_weights: List[np.ndarray],
+        clients: Sequence[Client],
+        strategy: Optional[Strategy] = None,
+        eval_data: Optional[Dataset] = None,
+        eval_model=None,
+    ):
+        if not clients:
+            raise ValueError("FLServer requires at least one client")
+        self.server_id = server_id
+        self.global_weights = [np.array(w, copy=True) for w in model_weights]
+        self.clients = list(clients)
+        self.strategy = strategy or FedAvg()
+        self.eval_data = eval_data
+        self.eval_model = eval_model
+        self.history = TrainingHistory()
+        self._round = 0
+
+    @property
+    def current_round(self) -> int:
+        """Number of completed federated rounds."""
+        return self._round
+
+    def run_round(self, client_fraction: float = 1.0, rng: Optional[np.random.Generator] = None) -> RoundMetrics:
+        """Execute one federated round and return its metrics."""
+        if not 0.0 < client_fraction <= 1.0:
+            raise ValueError("client_fraction must be in (0, 1]")
+        rng = rng or np.random.default_rng()
+        participants = self._select_clients(client_fraction, rng)
+        results = [client.fit(self.global_weights) for client in participants]
+        self.global_weights = self.strategy.aggregate(self.global_weights, results)
+        self._round += 1
+        metrics = self._evaluate_round(results)
+        self.history.record(metrics)
+        return metrics
+
+    def run(self, num_rounds: int, client_fraction: float = 1.0, seed: Optional[int] = None) -> TrainingHistory:
+        """Run several rounds back to back."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        rng = np.random.default_rng(seed)
+        for _ in range(num_rounds):
+            self.run_round(client_fraction=client_fraction, rng=rng)
+        return self.history
+
+    def evaluate(self) -> Dict[str, float]:
+        """Evaluate the current global weights on the server's evaluation data.
+
+        Falls back to averaging client-side evaluations when the server has no
+        held-out dataset of its own.
+        """
+        if self.eval_data is not None and self.eval_model is not None and len(self.eval_data):
+            self.eval_model.set_weights(self.global_weights)
+            loss, accuracy = self.eval_model.evaluate(self.eval_data.x, self.eval_data.y)
+            return {"loss": loss, "accuracy": accuracy}
+        evals = [client.evaluate(self.global_weights) for client in self.clients]
+        total = sum(e["num_samples"] for e in evals)
+        loss = sum(e["loss"] * e["num_samples"] for e in evals) / total
+        accuracy = sum(e["accuracy"] * e["num_samples"] for e in evals) / total
+        return {"loss": loss, "accuracy": accuracy}
+
+    def _select_clients(self, fraction: float, rng: np.random.Generator) -> List[Client]:
+        count = max(1, int(round(fraction * len(self.clients))))
+        if count >= len(self.clients):
+            return list(self.clients)
+        picked = rng.choice(len(self.clients), size=count, replace=False)
+        return [self.clients[i] for i in sorted(picked)]
+
+    def _evaluate_round(self, results: Sequence[FitResult]) -> RoundMetrics:
+        evaluation = self.evaluate()
+        return RoundMetrics(
+            round_number=self._round,
+            loss=evaluation["loss"],
+            accuracy=evaluation["accuracy"],
+            num_clients=len(results),
+        )

@@ -1,0 +1,132 @@
+"""Server-side aggregation strategies.
+
+``FedAvg`` is the sample-weighted average of McMahan et al.; ``FedYogi`` and
+``FedAdagrad`` follow the adaptive-federated-optimisation formulation of
+Reddi et al. (2021): the strategy keeps server-side optimizer state and
+applies the averaged client update as a pseudo-gradient.  UnifyFL's
+flexibility experiment (Table 5 Run 4) mixes FedAvg and FedYogi aggregators
+within the same federation, which these classes make possible because each
+aggregator owns its own strategy instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.client import FitResult
+from repro.ml.optim import Adagrad, Optimizer, Yogi
+from repro.ml.tensor_utils import average_weights, subtract_weights
+
+
+class Strategy:
+    """Base class: combine client fit results into new global weights."""
+
+    name = "strategy"
+
+    def aggregate(
+        self,
+        current_weights: List[np.ndarray],
+        results: Sequence[FitResult],
+    ) -> List[np.ndarray]:
+        """Produce new global weights from the previous weights and updates."""
+        raise NotImplementedError
+
+    def aggregate_weight_sets(
+        self,
+        current_weights: List[np.ndarray],
+        weight_sets: Sequence[List[np.ndarray]],
+        coefficients: Optional[Sequence[float]] = None,
+    ) -> List[np.ndarray]:
+        """Aggregate raw weight lists (used for cross-silo global aggregation).
+
+        UnifyFL's aggregators re-use their in-cluster strategy when combining
+        the *global* models pulled from other silos, so this entry point takes
+        plain weight lists instead of :class:`FitResult` objects.
+        """
+        results = [
+            FitResult(client_id=f"peer-{i}", weights=w, num_samples=1)
+            for i, w in enumerate(weight_sets)
+        ]
+        if coefficients is not None:
+            if len(coefficients) != len(results):
+                raise ValueError("coefficients must match the number of weight sets")
+            for result, coef in zip(results, coefficients):
+                result.num_samples = max(1, int(round(float(coef) * 1000)))
+        return self.aggregate(current_weights, results)
+
+
+class FedAvg(Strategy):
+    """Sample-count-weighted averaging of client models."""
+
+    name = "fedavg"
+
+    def aggregate(
+        self,
+        current_weights: List[np.ndarray],
+        results: Sequence[FitResult],
+    ) -> List[np.ndarray]:
+        if not results:
+            return [np.array(w, copy=True) for w in current_weights]
+        weight_sets = [r.weights for r in results]
+        coefficients = [float(r.num_samples) for r in results]
+        return average_weights(weight_sets, coefficients)
+
+
+class _ServerOptStrategy(Strategy):
+    """Shared machinery for strategies that apply a server-side optimizer."""
+
+    def __init__(self, optimizer: Optimizer):
+        self._optimizer = optimizer
+
+    def aggregate(
+        self,
+        current_weights: List[np.ndarray],
+        results: Sequence[FitResult],
+    ) -> List[np.ndarray]:
+        if not results:
+            return [np.array(w, copy=True) for w in current_weights]
+        averaged = FedAvg().aggregate(current_weights, results)
+        # Pseudo-gradient: the negative of the average client movement.
+        pseudo_grad = subtract_weights(current_weights, averaged)
+        new_weights = [np.array(w, copy=True) for w in current_weights]
+        self._optimizer.step(new_weights, pseudo_grad)
+        return new_weights
+
+    def reset(self) -> None:
+        """Clear the server optimizer's state (used between experiments)."""
+        self._optimizer.reset()
+
+
+class FedYogi(_ServerOptStrategy):
+    """FedYogi: server-side Yogi optimizer applied to the averaged update."""
+
+    name = "fedyogi"
+
+    def __init__(self, learning_rate: float = 0.05, beta1: float = 0.9, beta2: float = 0.99, eps: float = 1e-3):
+        super().__init__(Yogi(learning_rate=learning_rate, beta1=beta1, beta2=beta2, eps=eps))
+
+
+class FedAdagrad(_ServerOptStrategy):
+    """FedAdagrad: server-side Adagrad optimizer applied to the averaged update."""
+
+    name = "fedadagrad"
+
+    def __init__(self, learning_rate: float = 0.05, eps: float = 1e-6):
+        super().__init__(Adagrad(learning_rate=learning_rate, eps=eps))
+
+
+_STRATEGIES: Dict[str, type] = {
+    "fedavg": FedAvg,
+    "fedyogi": FedYogi,
+    "fedadagrad": FedAdagrad,
+}
+
+
+def build_strategy(name: str, **kwargs) -> Strategy:
+    """Construct a strategy by name (``fedavg``, ``fedyogi``, ``fedadagrad``)."""
+    key = name.lower()
+    if key not in _STRATEGIES:
+        raise ValueError(f"unknown strategy '{name}'; available: {sorted(_STRATEGIES)}")
+    return _STRATEGIES[key](**kwargs)

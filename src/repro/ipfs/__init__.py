@@ -1,0 +1,29 @@
+"""Content-addressed distributed storage (the IPFS-equivalent substrate).
+
+UnifyFL stores serialized model weights on a private IPFS swarm hosted by the
+aggregator nodes and passes only the content identifier (CID) through the
+blockchain.  This package reproduces the behaviour that design depends on:
+
+* :mod:`repro.ipfs.cid` — CIDs derived from content hashes (integrity).
+* :mod:`repro.ipfs.blockstore` — chunking of payloads into fixed-size blocks
+  addressed by their own hashes, with a root object linking them.
+* :mod:`repro.ipfs.node` — a single IPFS node: add / get / pin / gc.
+* :mod:`repro.ipfs.swarm` — a swarm of nodes with DHT-style provider records,
+  so a node can retrieve content added by any peer; transfer sizes feed the
+  timing/overhead simulation.
+"""
+
+from repro.ipfs.blockstore import BlockStore, ChunkedObject
+from repro.ipfs.cid import CID, compute_cid
+from repro.ipfs.node import IPFSError, IPFSNode
+from repro.ipfs.swarm import IPFSSwarm
+
+__all__ = [
+    "BlockStore",
+    "ChunkedObject",
+    "CID",
+    "compute_cid",
+    "IPFSError",
+    "IPFSNode",
+    "IPFSSwarm",
+]

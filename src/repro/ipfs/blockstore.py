@@ -1,0 +1,125 @@
+"""Chunked block storage underneath an IPFS node.
+
+IPFS splits files into fixed-size blocks, addresses every block by its hash
+and links them from a root object; the root's hash is the file's CID.  This
+module reproduces that layout so content integrity is verifiable block by
+block and large model weights are stored as many small blocks (which is what
+makes retrieval latency proportional to model size in the timing model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ipfs.cid import CID, compute_cid
+
+DEFAULT_CHUNK_SIZE = 256 * 1024  # IPFS's default 256 KiB chunker
+
+
+@dataclass
+class ChunkedObject:
+    """Root object describing a chunked payload: ordered links to data blocks."""
+
+    cid: CID
+    chunk_cids: List[CID]
+    total_size: int
+
+    def manifest_bytes(self) -> bytes:
+        """Canonical encoding of the root object (what the root CID addresses)."""
+        body = ",".join(c.value for c in self.chunk_cids) + f"|{self.total_size}"
+        return body.encode("utf-8")
+
+
+class BlockStore:
+    """Hash-addressed storage of raw blocks plus root manifests."""
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+        self._blocks: Dict[CID, bytes] = {}
+        self._objects: Dict[CID, ChunkedObject] = {}
+
+    # -- writes ---------------------------------------------------------------
+    def put(self, content: bytes) -> ChunkedObject:
+        """Chunk a payload, store every block, and return the root object."""
+        chunk_cids: List[CID] = []
+        for start in range(0, max(len(content), 1), self.chunk_size):
+            chunk = content[start : start + self.chunk_size]
+            cid = compute_cid(chunk)
+            self._blocks[cid] = chunk
+            chunk_cids.append(cid)
+        provisional = ChunkedObject(cid=compute_cid(b""), chunk_cids=chunk_cids, total_size=len(content))
+        root_cid = compute_cid(provisional.manifest_bytes())
+        obj = ChunkedObject(cid=root_cid, chunk_cids=chunk_cids, total_size=len(content))
+        self._objects[root_cid] = obj
+        return obj
+
+    def put_object(self, obj: ChunkedObject, blocks: Dict[CID, bytes]) -> None:
+        """Install a chunked object replicated from another node."""
+        for cid, chunk in blocks.items():
+            if not cid.verify(chunk):
+                raise ValueError(f"block content does not match its CID {cid}")
+            self._blocks[cid] = chunk
+        self._objects[obj.cid] = obj
+
+    # -- reads ----------------------------------------------------------------
+    def has(self, cid: CID) -> bool:
+        """Whether the root object for a CID is stored locally."""
+        return cid in self._objects
+
+    def get_object(self, cid: CID) -> Optional[ChunkedObject]:
+        """The root object for a CID, if stored locally."""
+        return self._objects.get(cid)
+
+    def get(self, cid: CID) -> Optional[bytes]:
+        """Reassemble the full payload for a root CID, verifying every block."""
+        obj = self._objects.get(cid)
+        if obj is None:
+            return None
+        parts: List[bytes] = []
+        for chunk_cid in obj.chunk_cids:
+            chunk = self._blocks.get(chunk_cid)
+            if chunk is None or not chunk_cid.verify(chunk):
+                return None
+            parts.append(chunk)
+        payload = b"".join(parts)
+        if len(payload) != obj.total_size:
+            return None
+        return payload
+
+    def blocks_for(self, cid: CID) -> Dict[CID, bytes]:
+        """All raw blocks belonging to a root CID (for replication to peers)."""
+        obj = self._objects.get(cid)
+        if obj is None:
+            return {}
+        return {c: self._blocks[c] for c in obj.chunk_cids if c in self._blocks}
+
+    # -- maintenance ------------------------------------------------------------
+    def delete(self, cid: CID) -> bool:
+        """Remove a root object and any blocks no other object references."""
+        obj = self._objects.pop(cid, None)
+        if obj is None:
+            return False
+        still_referenced = {
+            chunk for other in self._objects.values() for chunk in other.chunk_cids
+        }
+        for chunk_cid in obj.chunk_cids:
+            if chunk_cid not in still_referenced:
+                self._blocks.pop(chunk_cid, None)
+        return True
+
+    @property
+    def object_count(self) -> int:
+        """Number of stored root objects."""
+        return len(self._objects)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes of raw block data held locally."""
+        return sum(len(b) for b in self._blocks.values())
+
+    def object_cids(self) -> List[CID]:
+        """All locally stored root CIDs."""
+        return list(self._objects)

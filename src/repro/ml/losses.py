@@ -1,0 +1,57 @@
+"""Classification and regression losses with analytic gradients."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Loss:
+    """Base class: ``forward`` returns (loss, gradient w.r.t. predictions)."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        return self.forward(predictions, targets)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over integer class labels.
+
+    ``predictions`` are unnormalised logits of shape (batch, classes) and
+    ``targets`` are integer labels of shape (batch,).  The returned gradient
+    is with respect to the logits (softmax fused into the loss).
+    """
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        if predictions.ndim != 2:
+            raise ValueError("CrossEntropyLoss expects 2-D logits")
+        targets = np.asarray(targets)
+        if targets.ndim != 1 or targets.shape[0] != predictions.shape[0]:
+            raise ValueError("targets must be a 1-D label array matching the batch size")
+        n, num_classes = predictions.shape
+        if targets.min() < 0 or targets.max() >= num_classes:
+            raise ValueError("target labels out of range for the given logits")
+        shifted = predictions - predictions.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        eps = 1e-12
+        loss = float(-np.log(probs[np.arange(n), targets] + eps).mean())
+        grad = probs.copy()
+        grad[np.arange(n), targets] -= 1.0
+        return loss, grad / n
+
+
+class MSELoss(Loss):
+    """Mean squared error; used by regression examples and sanity tests."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError("MSELoss requires predictions and targets of equal shape")
+        diff = predictions - targets
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

@@ -1,0 +1,176 @@
+"""Optimizers used by clients (local training) and servers (federated updates).
+
+The paper's clients use SGD with learning rate 0.01; its flexibility study
+(Table 5 Run 4) mixes FedAvg with FedYogi server-side optimisation.  Yogi and
+Adagrad are implemented here so :class:`repro.fl.strategy.FedYogi` and
+``FedAdagrad`` can operate on pseudo-gradients, exactly as in the adaptive
+federated optimisation literature (Reddi et al., 2021).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer operating on aligned lists of parameters and gradients."""
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        """Update ``params`` in place using ``grads``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any accumulated state (momentum, second moments)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have equal length")
+        if self.momentum > 0 and self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            if self.momentum > 0:
+                assert self._velocity is not None
+                self._velocity[i] = self.momentum * self._velocity[i] + g
+                g = self._velocity[i]
+            p -= self.learning_rate * g
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Optional[List[np.ndarray]] = None
+        self._v: Optional[List[np.ndarray]] = None
+        self._t = 0
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have equal length")
+        if self._m is None or self._v is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * g
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * g**2
+            m_hat = self._m[i] / (1 - self.beta1**self._t)
+            v_hat = self._v[i] / (1 - self.beta2**self._t)
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0
+
+
+class Yogi(Optimizer):
+    """Yogi optimizer: Adam variant with additive second-moment control.
+
+    Used as the server optimizer in the FedYogi strategy.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        eps: float = 1e-3,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Optional[List[np.ndarray]] = None
+        self._v: Optional[List[np.ndarray]] = None
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have equal length")
+        if self._m is None or self._v is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.full_like(p, 1e-6) for p in params]
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * g
+            g_sq = g**2
+            self._v[i] = self._v[i] - (1 - self.beta2) * g_sq * np.sign(self._v[i] - g_sq)
+            p -= self.learning_rate * self._m[i] / (np.sqrt(self._v[i]) + self.eps)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+
+
+class Adagrad(Optimizer):
+    """Adagrad optimizer; included for the FedAdagrad server strategy."""
+
+    def __init__(self, learning_rate: float = 0.01, eps: float = 1e-8):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.eps = eps
+        self._accum: Optional[List[np.ndarray]] = None
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have equal length")
+        if self._accum is None:
+            self._accum = [np.zeros_like(p) for p in params]
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self._accum[i] += g**2
+            p -= self.learning_rate * g / (np.sqrt(self._accum[i]) + self.eps)
+
+    def reset(self) -> None:
+        self._accum = None
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "adam": Adam,
+    "yogi": Yogi,
+    "adagrad": Adagrad,
+}
+
+
+def build_optimizer(name: str, **kwargs) -> Optimizer:
+    """Construct an optimizer by name (``sgd``, ``adam``, ``yogi``, ``adagrad``)."""
+    key = name.lower()
+    if key not in _OPTIMIZERS:
+        raise ValueError(f"unknown optimizer '{name}'; available: {sorted(_OPTIMIZERS)}")
+    return _OPTIMIZERS[key](**kwargs)

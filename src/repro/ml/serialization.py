@@ -1,0 +1,99 @@
+"""Serialization of model weights to the byte format stored on IPFS.
+
+UnifyFL stores aggregated model weights "in a serialized format" on IPFS and
+passes only the resulting content identifier (CID) through the smart
+contract.  This module defines that wire format: a small self-describing
+binary container with a magic header, a tensor count, and for each tensor its
+dtype, shape and raw bytes.  ``weights_checksum`` gives the stable digest the
+orchestrator and tests use to assert that every aggregator retrieved an
+identical model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Sequence
+
+import numpy as np
+
+_MAGIC = b"UFLW"
+_VERSION = 1
+
+_DTYPE_CODES = {
+    "float64": 0,
+    "float32": 1,
+    "int64": 2,
+    "int32": 3,
+}
+_CODE_DTYPES = {code: np.dtype(name) for name, code in _DTYPE_CODES.items()}
+
+
+class SerializationError(ValueError):
+    """Raised when a byte payload is not a valid weight container."""
+
+
+def weights_to_bytes(weights: Sequence[np.ndarray]) -> bytes:
+    """Serialize a list of numpy arrays to a compact binary payload."""
+    parts: List[bytes] = [_MAGIC, struct.pack("<BI", _VERSION, len(weights))]
+    for tensor in weights:
+        arr = np.ascontiguousarray(tensor)
+        dtype_name = arr.dtype.name
+        if dtype_name not in _DTYPE_CODES:
+            arr = arr.astype(np.float64)
+            dtype_name = "float64"
+        parts.append(struct.pack("<BB", _DTYPE_CODES[dtype_name], arr.ndim))
+        parts.append(struct.pack(f"<{arr.ndim}I", *arr.shape))
+        raw = arr.tobytes()
+        parts.append(struct.pack("<Q", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def weights_from_bytes(payload: bytes) -> List[np.ndarray]:
+    """Deserialize a payload produced by :func:`weights_to_bytes`.
+
+    Raises:
+        SerializationError: when the payload is truncated or malformed.
+    """
+    if len(payload) < 9 or payload[:4] != _MAGIC:
+        raise SerializationError("payload is not a UnifyFL weight container")
+    version, count = struct.unpack_from("<BI", payload, 4)
+    if version != _VERSION:
+        raise SerializationError(f"unsupported weight container version {version}")
+    offset = 9
+    weights: List[np.ndarray] = []
+    for _ in range(count):
+        if offset + 2 > len(payload):
+            raise SerializationError("truncated tensor header")
+        dtype_code, ndim = struct.unpack_from("<BB", payload, offset)
+        offset += 2
+        if dtype_code not in _CODE_DTYPES:
+            raise SerializationError(f"unknown dtype code {dtype_code}")
+        if offset + 4 * ndim > len(payload):
+            raise SerializationError("truncated tensor shape")
+        shape = struct.unpack_from(f"<{ndim}I", payload, offset) if ndim else ()
+        offset += 4 * ndim
+        if offset + 8 > len(payload):
+            raise SerializationError("truncated tensor length")
+        (nbytes,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        if offset + nbytes > len(payload):
+            raise SerializationError("truncated tensor data")
+        dtype = _CODE_DTYPES[dtype_code]
+        expected = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+        if nbytes != expected:
+            raise SerializationError(
+                f"tensor byte length {nbytes} does not match shape {shape} and dtype {dtype}"
+            )
+        arr = np.frombuffer(payload[offset : offset + nbytes], dtype=dtype).reshape(shape)
+        weights.append(np.array(arr, copy=True))
+        offset += nbytes
+    if offset != len(payload):
+        raise SerializationError("trailing bytes after the final tensor")
+    return weights
+
+
+def weights_checksum(weights: Sequence[np.ndarray]) -> str:
+    """Hex SHA-256 digest of the serialized weights (stable across processes)."""
+    return hashlib.sha256(weights_to_bytes(weights)).hexdigest()

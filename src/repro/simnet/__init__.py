@@ -1,0 +1,46 @@
+"""Testbed simulation: clocks, hardware heterogeneity, links and resources.
+
+The paper's evaluation runs on two physical testbeds (a 4-node GPU cluster and
+a heterogeneous edge cluster of Raspberry Pi 400s, Jetson Nanos and Docker
+containers).  This package provides the simulated equivalent:
+
+* :mod:`repro.simnet.clock` — per-actor simulated clocks advancing in
+  simulated seconds, so "Time" columns in the reproduced tables reflect the
+  same structure (compute time + transfer time + waiting/idle time) as the
+  paper's wall-clock measurements.
+* :mod:`repro.simnet.hardware` — device profiles with relative training
+  throughput, used to model stragglers and heterogeneity.
+* :mod:`repro.simnet.network` — latency/bandwidth links used for model
+  transfer times to and from the storage layer.
+* :mod:`repro.simnet.resources` — CPU / memory usage accounting producing the
+  paper's Table 7 system-overhead metrics.
+"""
+
+from repro.simnet.clock import SimClock
+from repro.simnet.hardware import (
+    DOCKER_CONTAINER,
+    EDGE_CPU_NODE,
+    GPU_NODE,
+    JETSON_NANO,
+    RASPBERRY_PI_400,
+    HardwareProfile,
+    profile_by_name,
+)
+from repro.simnet.network import NetworkLink, NetworkModel
+from repro.simnet.resources import ProcessSample, ResourceMonitor, ResourceReport
+
+__all__ = [
+    "SimClock",
+    "DOCKER_CONTAINER",
+    "EDGE_CPU_NODE",
+    "GPU_NODE",
+    "JETSON_NANO",
+    "RASPBERRY_PI_400",
+    "HardwareProfile",
+    "profile_by_name",
+    "NetworkLink",
+    "NetworkModel",
+    "ProcessSample",
+    "ResourceMonitor",
+    "ResourceReport",
+]

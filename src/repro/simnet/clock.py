@@ -1,0 +1,44 @@
+"""Simulated clocks.
+
+Every aggregator (and the shared chain / storage infrastructure) owns a
+:class:`SimClock`.  Clocks advance by explicit amounts — training time,
+transfer time, waiting for a synchronisation barrier — so a run's "Time"
+column is reproducible and independent of the host machine's speed.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock by a negative duration")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` if it is in the future.
+
+        Returns the idle time spent waiting (zero when the timestamp has
+        already passed) — this is how synchronous-mode idle time is measured.
+        """
+        if timestamp <= self._now:
+            return 0.0
+        waited = timestamp - self._now
+        self._now = float(timestamp)
+        return waited
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SimClock(t={self._now:.2f}s)"

@@ -1,0 +1,55 @@
+"""Point-to-point network model for model-weight transfers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A directed link with latency (seconds) and bandwidth (bytes/second)."""
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` across this link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+class NetworkModel:
+    """Holds per-pair links with a configurable default.
+
+    Keys are (source, destination) endpoint names.  When no specific link is
+    registered the default link applies, which keeps experiment setup short:
+    the paper's clusters sit on one LAN where all links are alike.
+    """
+
+    def __init__(self, default_link: Optional[NetworkLink] = None):
+        self.default_link = default_link or NetworkLink(latency_s=0.005, bandwidth_bytes_per_s=100e6)
+        self._links: Dict[Tuple[str, str], NetworkLink] = {}
+
+    def set_link(self, source: str, destination: str, link: NetworkLink, symmetric: bool = True) -> None:
+        """Register a link between two endpoints."""
+        self._links[(source, destination)] = link
+        if symmetric:
+            self._links[(destination, source)] = link
+
+    def link(self, source: str, destination: str) -> NetworkLink:
+        """The link between two endpoints (a zero-cost loopback for self-transfers)."""
+        if source == destination:
+            return NetworkLink(latency_s=0.0, bandwidth_bytes_per_s=10e9)
+        return self._links.get((source, destination), self.default_link)
+
+    def transfer_time(self, source: str, destination: str, num_bytes: int) -> float:
+        """Seconds to move a payload from ``source`` to ``destination``."""
+        return self.link(source, destination).transfer_time(num_bytes)

@@ -1,0 +1,96 @@
+"""CPU and memory accounting for the system-overhead study (Table 7).
+
+The paper reports mean and standard deviation of CPU% and memory for three
+process types — scorer, aggregator (``agg``) and client — plus the constant
+footprint of the Geth and IPFS daemons.  The :class:`ResourceMonitor` collects
+per-process samples during a simulated run and produces the same table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class ProcessSample:
+    """One CPU / memory sample for a process type at a simulated timestamp."""
+
+    process_type: str
+    cpu_percent: float
+    memory_mb: float
+    sim_time: float = 0.0
+
+
+@dataclass
+class ResourceReport:
+    """Mean / standard deviation of CPU% and memory per process type."""
+
+    process_type: str
+    cpu_mean: float
+    cpu_std: float
+    mem_mean_mb: float
+    mem_std_mb: float
+    sample_count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cpu_mean": self.cpu_mean,
+            "cpu_std": self.cpu_std,
+            "mem_mean_mb": self.mem_mean_mb,
+            "mem_std_mb": self.mem_std_mb,
+            "sample_count": float(self.sample_count),
+        }
+
+
+class ResourceMonitor:
+    """Accumulates :class:`ProcessSample` records and summarises them."""
+
+    def __init__(self) -> None:
+        self._samples: List[ProcessSample] = []
+
+    def record(self, process_type: str, cpu_percent: float, memory_mb: float, sim_time: float = 0.0) -> None:
+        """Record one sample for a process type."""
+        if cpu_percent < 0 or memory_mb < 0:
+            raise ValueError("cpu_percent and memory_mb must be non-negative")
+        self._samples.append(
+            ProcessSample(
+                process_type=process_type,
+                cpu_percent=cpu_percent,
+                memory_mb=memory_mb,
+                sim_time=sim_time,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def samples_for(self, process_type: str) -> List[ProcessSample]:
+        """All samples recorded for a process type."""
+        return [s for s in self._samples if s.process_type == process_type]
+
+    def process_types(self) -> List[str]:
+        """Process types observed so far, sorted."""
+        return sorted({s.process_type for s in self._samples})
+
+    def report(self, process_type: str) -> ResourceReport:
+        """Summary statistics for one process type."""
+        samples = self.samples_for(process_type)
+        if not samples:
+            raise ValueError(f"no samples recorded for process type '{process_type}'")
+        cpu = np.array([s.cpu_percent for s in samples])
+        mem = np.array([s.memory_mb for s in samples])
+        return ResourceReport(
+            process_type=process_type,
+            cpu_mean=float(cpu.mean()),
+            cpu_std=float(cpu.std()),
+            mem_mean_mb=float(mem.mean()),
+            mem_std_mb=float(mem.std()),
+            sample_count=len(samples),
+        )
+
+    def full_report(self) -> Dict[str, ResourceReport]:
+        """Reports for every observed process type."""
+        return {p: self.report(p) for p in self.process_types()}

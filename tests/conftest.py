@@ -1,0 +1,105 @@
+"""Shared fixtures: small datasets, models and federation configurations.
+
+Every fixture is deliberately tiny so the full suite runs in seconds while
+still exercising real training, real chain transactions and real storage
+transfers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.blockchain import Blockchain
+from repro.core.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    WorkloadConfig,
+    cifar10_workload,
+    edge_cluster_configs,
+)
+from repro.core.contract import UnifyFLContract
+from repro.datasets.synthetic import SyntheticCIFAR10, make_classification_dataset
+from repro.ipfs.swarm import IPFSSwarm
+from repro.ml.models import MLP, SimpleCNN
+
+
+@pytest.fixture(scope="session")
+def tiny_image_dataset():
+    """A small synthetic CIFAR-like dataset shared across tests (read-only)."""
+    factory = SyntheticCIFAR10(image_size=8, samples_per_class=12, test_samples_per_class=4, seed=7)
+    return factory.splits()
+
+
+@pytest.fixture(scope="session")
+def tabular_dataset():
+    """A small tabular classification dataset for MLP tests (read-only)."""
+    return make_classification_dataset(num_samples=240, num_features=10, num_classes=3, seed=3)
+
+
+@pytest.fixture()
+def small_cnn():
+    """A fresh small CNN sized for 8x8 synthetic images."""
+    return SimpleCNN(image_size=8, num_classes=10, conv_channels=(4, 8), hidden_dim=16, seed=0)
+
+
+@pytest.fixture()
+def small_mlp():
+    """A fresh small MLP for tabular data."""
+    return MLP(input_dim=10, hidden_dims=(16,), num_classes=3, seed=0)
+
+
+@pytest.fixture()
+def validator_accounts():
+    """Three deterministic validator accounts."""
+    return [Account.create(label=f"validator{i}", seed=100 + i) for i in range(3)]
+
+
+@pytest.fixture()
+def blockchain(validator_accounts):
+    """A fresh chain with three validators and no contracts."""
+    return Blockchain(validator_accounts, block_period=1.0)
+
+
+@pytest.fixture()
+def unifyfl_chain(validator_accounts):
+    """A chain with the UnifyFL contract deployed in sync mode."""
+    chain = Blockchain(validator_accounts, block_period=1.0)
+    chain.deploy_contract(UnifyFLContract(mode="sync", scorer_seed=0))
+    return chain
+
+
+@pytest.fixture()
+def ipfs_swarm():
+    """A two-node IPFS swarm."""
+    swarm = IPFSSwarm()
+    swarm.create_node("node-a")
+    swarm.create_node("node-b")
+    return swarm
+
+
+@pytest.fixture()
+def tiny_workload() -> WorkloadConfig:
+    """A minimal CIFAR-style workload for end-to-end tests."""
+    return cifar10_workload(rounds=2, samples_per_class=12, image_size=8)
+
+
+@pytest.fixture()
+def tiny_experiment_config(tiny_workload) -> ExperimentConfig:
+    """A two-round, three-cluster experiment configuration."""
+    return ExperimentConfig(
+        name="tiny-test",
+        workload=tiny_workload,
+        clusters=edge_cluster_configs(num_clients=2),
+        mode="sync",
+        partitioning="iid",
+        rounds=2,
+        seed=5,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic random generator for tests that need randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,251 @@
+"""Tests for the contract runtime and the blockchain itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.blockchain import Blockchain, BlockchainError
+from repro.chain.contract import (
+    Contract,
+    ContractError,
+    ContractRuntime,
+    GasExhaustedError,
+    contract_method,
+    view_method,
+)
+from repro.chain.events import EventFilter
+from repro.chain.transaction import Transaction
+
+
+class Counter(Contract):
+    """A minimal test contract with state, events, require and a view."""
+
+    name = "counter"
+
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+        self.owner_calls = {}
+
+    @contract_method
+    def increment(self, by: int = 1):
+        self.require(by > 0, "by must be positive")
+        self.count += by
+        self.owner_calls[self.ctx.sender] = self.owner_calls.get(self.ctx.sender, 0) + 1
+        self.emit("Incremented", count=self.count, by=by)
+        return self.count
+
+    @contract_method
+    def burn_gas(self):
+        self.ctx.charge(10_000_000)
+        return True
+
+    @view_method
+    def get(self):
+        return self.count
+
+    def internal_helper(self):
+        return "not callable externally"
+
+
+class TestContractRuntime:
+    def test_deploy_and_call_view(self):
+        runtime = ContractRuntime()
+        runtime.deploy(Counter())
+        result, ctx = runtime.call("counter", "get")
+        assert result == 0
+        assert ctx.gas_used >= Counter.base_gas_per_call
+
+    def test_duplicate_deploy_rejected(self):
+        runtime = ContractRuntime()
+        runtime.deploy(Counter())
+        with pytest.raises(ContractError):
+            runtime.deploy(Counter())
+
+    def test_unknown_contract(self):
+        with pytest.raises(ContractError):
+            ContractRuntime().get("nope")
+
+    def test_unknown_method(self):
+        runtime = ContractRuntime()
+        runtime.deploy(Counter())
+        with pytest.raises(ContractError):
+            runtime.call("counter", "internal_helper")
+
+    def test_call_mutates_state_and_emits(self):
+        runtime = ContractRuntime()
+        contract = runtime.deploy(Counter())
+        result, ctx = runtime.call("counter", "increment", {"by": 3}, sender="0xa")
+        assert result == 3 and contract.count == 3
+        assert len(ctx.events) == 1
+        assert ctx.events[0].payload["by"] == 3
+
+    def test_require_reverts(self):
+        runtime = ContractRuntime()
+        runtime.deploy(Counter())
+        with pytest.raises(ContractError):
+            runtime.call("counter", "increment", {"by": 0})
+
+    def test_gas_limit_enforced(self):
+        runtime = ContractRuntime()
+        runtime.deploy(Counter())
+        with pytest.raises(GasExhaustedError):
+            runtime.call("counter", "burn_gas", gas_limit=50_000)
+
+    def test_is_view_classification(self):
+        assert Counter.is_view("get") is True
+        assert Counter.is_view("increment") is False
+        with pytest.raises(ContractError):
+            Counter.is_view("missing")
+
+    def test_ctx_unavailable_outside_call(self):
+        contract = Counter()
+        with pytest.raises(ContractError):
+            _ = contract.ctx
+
+
+class TestBlockchain:
+    def test_genesis_block_exists(self, blockchain):
+        assert blockchain.height == 0
+        assert len(blockchain.blocks) == 1
+
+    def test_requires_validators(self):
+        with pytest.raises(BlockchainError):
+            Blockchain([])
+
+    def test_send_and_mine_executes_contract(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        blockchain.send(validator_accounts[0], "counter", "increment", {"by": 5})
+        block = blockchain.mine_block()
+        assert block.number == 1
+        assert blockchain.call("counter", "get") == 5
+
+    def test_receipt_records_success_and_events(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        tx_hash = blockchain.send(validator_accounts[0], "counter", "increment", {"by": 2})
+        blockchain.mine_block()
+        receipt = blockchain.receipt(tx_hash)
+        assert receipt is not None and receipt.success
+        assert receipt.return_value == 2
+        assert receipt.events[0].name == "Incremented"
+
+    def test_failed_transaction_recorded_not_fatal(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        tx_hash = blockchain.send(validator_accounts[0], "counter", "increment", {"by": -1})
+        blockchain.mine_block()
+        receipt = blockchain.receipt(tx_hash)
+        assert receipt is not None and not receipt.success
+        assert "positive" in receipt.error
+        assert blockchain.metrics.transactions_failed == 1
+
+    def test_unknown_sender_rejected(self, blockchain):
+        stranger = Account.create(seed=777)
+        tx = Transaction.create(stranger, "counter", "increment", {})
+        with pytest.raises(BlockchainError):
+            blockchain.submit_transaction(tx)
+
+    def test_bad_signature_rejected(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        tx = Transaction.create(validator_accounts[0], "counter", "increment", {})
+        tx.signature = "00" * 32
+        with pytest.raises(BlockchainError):
+            blockchain.submit_transaction(tx)
+
+    def test_nonce_order_enforced(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        account = validator_accounts[0]
+        tx1 = Transaction.create(account, "counter", "increment", {})
+        tx2 = Transaction.create(account, "counter", "increment", {})
+        blockchain.submit_transaction(tx2 if False else tx1)
+        # Submitting a transaction with a skipped nonce must fail.
+        tx_future = Transaction.create(account, "counter", "increment", {})
+        with pytest.raises(BlockchainError):
+            blockchain.submit_transaction(tx_future)
+
+    def test_replay_rejected(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        account = validator_accounts[0]
+        tx = Transaction.create(account, "counter", "increment", {})
+        blockchain.submit_transaction(tx)
+        with pytest.raises(BlockchainError):
+            blockchain.submit_transaction(tx)
+
+    def test_events_stamped_with_block(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        blockchain.send(validator_accounts[0], "counter", "increment", {"by": 1})
+        blockchain.mine_block()
+        events = blockchain.events(EventFilter(name="Incremented"))
+        assert len(events) == 1
+        assert events[0].block_number == 1
+        assert events[0].tx_hash
+
+    def test_subscription_fires_on_mine(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        received = []
+        blockchain.subscribe(received.append, EventFilter(name="Incremented"))
+        blockchain.send(validator_accounts[0], "counter", "increment", {"by": 1})
+        blockchain.mine_block()
+        assert len(received) == 1
+
+    def test_view_call_does_not_mine(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        assert blockchain.call("counter", "get") == 0
+        assert blockchain.height == 0
+
+    def test_call_rejects_mutating_method(self, blockchain):
+        blockchain.deploy_contract(Counter())
+        with pytest.raises(BlockchainError):
+            blockchain.call("counter", "increment", {"by": 1})
+
+    def test_mine_until_empty(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        for i in range(3):
+            blockchain.send(validator_accounts[i % 3], "counter", "increment", {"by": 1})
+        blocks = blockchain.mine_until_empty()
+        assert blockchain.pending_count == 0
+        assert len(blocks) >= 1
+        assert blockchain.call("counter", "get") == 3
+
+    def test_sealer_rotation_across_blocks(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        sealers = []
+        for i in range(4):
+            blockchain.send(validator_accounts[i % 3], "counter", "increment", {"by": 1})
+            sealers.append(blockchain.mine_block().header.sealer)
+        assert len(set(sealers)) >= 2  # not a single validator sealing everything
+
+    def test_chain_verifies(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        for i in range(5):
+            blockchain.send(validator_accounts[i % 3], "counter", "increment", {"by": 1})
+            blockchain.mine_block()
+        assert blockchain.verify_chain()
+
+    def test_tampering_detected(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        blockchain.send(validator_accounts[0], "counter", "increment", {"by": 1})
+        blockchain.mine_block()
+        blockchain.send(validator_accounts[1], "counter", "increment", {"by": 1})
+        blockchain.mine_block()
+        # Tamper with an earlier block's transactions.
+        blockchain.blocks[1].transactions = []
+        assert not blockchain.verify_chain()
+
+    def test_metrics_accumulate(self, blockchain, validator_accounts):
+        blockchain.deploy_contract(Counter())
+        blockchain.send(validator_accounts[0], "counter", "increment", {"by": 1})
+        blockchain.mine_block()
+        metrics = blockchain.metrics.as_dict()
+        assert metrics["blocks_mined"] == 1
+        assert metrics["transactions_processed"] == 1
+        assert metrics["total_gas_used"] > 0
+        assert metrics["total_bytes"] > 0
+
+    def test_register_account_allows_non_validator_sender(self, blockchain):
+        blockchain.deploy_contract(Counter())
+        outsider = Account.create(seed=55)
+        blockchain.register_account(outsider)
+        blockchain.send(outsider, "counter", "increment", {"by": 4})
+        blockchain.mine_block()
+        assert blockchain.call("counter", "get") == 4

@@ -1,0 +1,233 @@
+"""Tests for crypto, accounts, transactions, blocks, events and Clique."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.block import Block, BlockHeader
+from repro.chain.clique import CliqueEngine, CliqueError
+from repro.chain.crypto import (
+    KeyPair,
+    address_from_public_key,
+    hash_payload,
+    keccak_hex,
+    sign_payload,
+    verify_signature,
+)
+from repro.chain.events import Event, EventBus, EventFilter
+from repro.chain.transaction import Transaction
+
+
+class TestCrypto:
+    def test_keccak_hex_deterministic(self):
+        assert keccak_hex(b"abc") == keccak_hex(b"abc")
+        assert keccak_hex(b"abc") != keccak_hex(b"abd")
+
+    def test_hash_payload_order_independent(self):
+        assert hash_payload({"a": 1, "b": 2}) == hash_payload({"b": 2, "a": 1})
+
+    def test_keypair_deterministic_from_seed(self):
+        assert KeyPair.generate(seed=7).address == KeyPair.generate(seed=7).address
+
+    def test_keypair_random_unique(self):
+        assert KeyPair.generate().address != KeyPair.generate().address
+
+    def test_address_format(self):
+        kp = KeyPair.generate(seed=1)
+        assert kp.address.startswith("0x")
+        assert len(kp.address) == 42
+        assert address_from_public_key(kp.public_key) == kp.address
+
+    def test_signature_verifies(self):
+        kp = KeyPair.generate(seed=2)
+        payload = {"value": 42}
+        sig = kp.sign(payload)
+        assert verify_signature(kp.public_key, kp.private_key, payload, sig)
+
+    def test_signature_rejects_tampered_payload(self):
+        kp = KeyPair.generate(seed=3)
+        sig = kp.sign({"value": 42})
+        assert not verify_signature(kp.public_key, kp.private_key, {"value": 43}, sig)
+
+    def test_signature_rejects_wrong_key(self):
+        kp = KeyPair.generate(seed=4)
+        other = KeyPair.generate(seed=5)
+        sig = kp.sign({"v": 1})
+        assert not verify_signature(other.public_key, other.private_key, {"v": 1}, sig)
+
+    def test_sign_payload_matches_keypair_sign(self):
+        kp = KeyPair.generate(seed=6)
+        assert kp.sign({"x": 1}) == sign_payload(kp.private_key, {"x": 1})
+
+
+class TestAccount:
+    def test_nonce_advances(self):
+        account = Account.create(seed=1)
+        assert account.next_nonce() == 0
+        assert account.next_nonce() == 1
+        assert account.nonce == 2
+
+    def test_create_funds_balance(self):
+        account = Account.create(seed=2, balance=500.0)
+        assert account.balance == 500.0
+
+    def test_address_is_keypair_address(self):
+        account = Account.create(seed=3)
+        assert account.address == account.keypair.address
+
+
+class TestTransaction:
+    def test_create_signs_and_orders(self):
+        account = Account.create(seed=1)
+        tx1 = Transaction.create(account, "c", "m", {"a": 1})
+        tx2 = Transaction.create(account, "c", "m", {"a": 2})
+        assert tx1.nonce == 0 and tx2.nonce == 1
+        assert tx1.signature and tx1.tx_hash != tx2.tx_hash
+
+    def test_hash_includes_signature(self):
+        account = Account.create(seed=2)
+        tx = Transaction.create(account, "c", "m", {})
+        original_hash = tx.tx_hash
+        tx.signature = "0" * 64
+        assert tx.tx_hash != original_hash
+
+    def test_rejects_nonpositive_gas(self):
+        account = Account.create(seed=3)
+        with pytest.raises(ValueError):
+            Transaction.create(account, "c", "m", {}, gas_limit=0)
+
+    def test_estimated_size_positive(self):
+        account = Account.create(seed=4)
+        tx = Transaction.create(account, "c", "m", {"payload": "x" * 100})
+        assert tx.estimated_size_bytes() > 100
+
+
+class TestBlocks:
+    def test_header_hash_changes_with_content(self):
+        header = BlockHeader(number=1, parent_hash="0x0", timestamp=0.0, sealer="0xabc", transactions_root="r")
+        h1 = header.hash()
+        header.timestamp = 1.0
+        assert header.hash() != h1
+
+    def test_transactions_root_depends_on_order(self):
+        account = Account.create(seed=1)
+        tx1 = Transaction.create(account, "c", "m", {"i": 1})
+        tx2 = Transaction.create(account, "c", "m", {"i": 2})
+        assert Block.compute_transactions_root([tx1, tx2]) != Block.compute_transactions_root([tx2, tx1])
+
+    def test_block_size_estimate(self):
+        account = Account.create(seed=2)
+        tx = Transaction.create(account, "c", "m", {})
+        block = Block(
+            header=BlockHeader(number=1, parent_hash="0x0", timestamp=0.0, sealer="0x", transactions_root="r"),
+            transactions=[tx],
+        )
+        assert block.estimated_size_bytes() > 200
+
+
+class TestEvents:
+    def test_append_and_query(self):
+        bus = EventBus()
+        bus.append(Event(contract="c", name="A", payload={"x": 1}, block_number=1))
+        bus.append(Event(contract="c", name="B", payload={"x": 2}, block_number=2))
+        assert len(bus) == 2
+        assert len(bus.query(EventFilter(name="A"))) == 1
+
+    def test_filter_by_block_range(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.append(Event(contract="c", name="E", payload={}, block_number=i))
+        assert len(bus.query(EventFilter(from_block=2, to_block=3))) == 2
+
+    def test_filter_by_contract(self):
+        bus = EventBus()
+        bus.append(Event(contract="a", name="E", payload={}, block_number=0))
+        bus.append(Event(contract="b", name="E", payload={}, block_number=0))
+        assert len(bus.query(EventFilter(contract="a"))) == 1
+
+    def test_subscription_receives_matching_events(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe(received.append, EventFilter(name="Wanted"))
+        bus.append(Event(contract="c", name="Wanted", payload={}, block_number=0))
+        bus.append(Event(contract="c", name="Other", payload={}, block_number=0))
+        assert len(received) == 1
+        assert received[0].name == "Wanted"
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        received = []
+        unsubscribe = bus.subscribe(received.append)
+        unsubscribe()
+        bus.append(Event(contract="c", name="E", payload={}, block_number=0))
+        assert received == []
+
+    def test_log_index_assigned_in_order(self):
+        bus = EventBus()
+        bus.append(Event(contract="c", name="E", payload={}, block_number=0))
+        second = bus.append(Event(contract="c", name="E", payload={}, block_number=0))
+        assert second.log_index == 1
+
+
+class TestClique:
+    def test_in_turn_rotation(self, validator_accounts):
+        engine = CliqueEngine(validator_accounts)
+        signers = engine.signer_addresses
+        assert engine.in_turn_signer(0) == signers[0]
+        assert engine.in_turn_signer(1) == signers[1]
+        assert engine.in_turn_signer(len(signers)) == signers[0]
+
+    def test_requires_signers(self):
+        with pytest.raises(CliqueError):
+            CliqueEngine([])
+
+    def test_rejects_duplicate_signers(self, validator_accounts):
+        with pytest.raises(CliqueError):
+            CliqueEngine([validator_accounts[0], validator_accounts[0]])
+
+    def test_seal_and_verify(self, validator_accounts):
+        engine = CliqueEngine(validator_accounts)
+        sealer = engine.signer_addresses[1]
+        header = BlockHeader(number=1, parent_hash="0x0", timestamp=0.0, sealer=sealer, transactions_root="r")
+        engine.seal(header)
+        block = Block(header=header)
+        engine.verify_seal(block, [])
+
+    def test_verify_rejects_unauthorized_sealer(self, validator_accounts):
+        engine = CliqueEngine(validator_accounts)
+        outsider = Account.create(seed=999)
+        header = BlockHeader(number=1, parent_hash="0x0", timestamp=0.0, sealer=outsider.address, transactions_root="r")
+        header.seal_signature = outsider.sign({"header": header.hash()})
+        with pytest.raises(CliqueError):
+            engine.verify_seal(Block(header=header), [])
+
+    def test_verify_rejects_forged_signature(self, validator_accounts):
+        engine = CliqueEngine(validator_accounts)
+        sealer = engine.signer_addresses[0]
+        header = BlockHeader(number=1, parent_hash="0x0", timestamp=0.0, sealer=sealer, transactions_root="r")
+        header.seal_signature = "00" * 32
+        with pytest.raises(CliqueError):
+            engine.verify_seal(Block(header=header), [])
+
+    def test_recently_sealed_prevents_consecutive_blocks(self, validator_accounts):
+        engine = CliqueEngine(validator_accounts)
+        sealer = engine.signer_addresses[0]
+        header = BlockHeader(number=1, parent_hash="0x0", timestamp=0.0, sealer=sealer, transactions_root="r")
+        engine.seal(header)
+        previous_block = Block(header=header)
+        assert engine.recently_sealed([previous_block], sealer)
+        next_sealer = engine.select_sealer([previous_block], 2)
+        assert next_sealer != sealer
+
+    def test_seal_delay_out_of_turn_longer(self, validator_accounts):
+        engine = CliqueEngine(validator_accounts, block_period=2.0)
+        in_turn = engine.in_turn_signer(5)
+        out_of_turn = [a for a in engine.signer_addresses if a != in_turn][0]
+        assert engine.seal_delay(5, out_of_turn) > engine.seal_delay(5, in_turn)
+
+    def test_seal_unauthorized_raises(self, validator_accounts):
+        engine = CliqueEngine(validator_accounts)
+        header = BlockHeader(number=1, parent_hash="0x0", timestamp=0.0, sealer="0xdead", transactions_root="r")
+        with pytest.raises(CliqueError):
+            engine.seal(header)

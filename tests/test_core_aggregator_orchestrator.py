@@ -1,0 +1,293 @@
+"""Tests for the UnifyFL aggregator and the Sync/Async orchestrators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.blockchain import Blockchain
+from repro.core.aggregator import UnifyFLAggregator
+from repro.core.attacks import SignFlipAttack
+from repro.core.config import ClusterConfig, cifar10_workload
+from repro.core.contract import UnifyFLContract
+from repro.core.orchestrator import AsyncOrchestrator, SyncOrchestrator
+from repro.core.scorer import AccuracyScorer
+from repro.core.timing import ClusterTimingModel
+from repro.datasets.partition import IIDPartitioner
+from repro.datasets.synthetic import SyntheticCIFAR10
+from repro.fl.client import Client, ClientConfig
+from repro.ipfs.swarm import IPFSSwarm
+from repro.ml.models import SimpleCNN
+from repro.ml.tensor_utils import weights_allclose
+from repro.simnet.hardware import DOCKER_CONTAINER, EDGE_CPU_NODE
+from repro.simnet.resources import ResourceMonitor
+
+
+def build_federation(mode="sync", num_clusters=3, malicious=(), monitor=None, seed=0):
+    """Hand-assemble a small federation without the ExperimentRunner."""
+    workload = cifar10_workload(rounds=2, samples_per_class=12, image_size=8)
+    factory = SyntheticCIFAR10(image_size=8, samples_per_class=12, test_samples_per_class=4, seed=seed)
+    train, test = factory.splits()
+    model = SimpleCNN(image_size=8, num_classes=10, conv_channels=(4, 8), hidden_dim=16, seed=seed)
+    timing = ClusterTimingModel(workload, block_period=1.0, seed=seed)
+
+    accounts = [Account.create(label=f"agg{i}", seed=900 + i + seed * 10) for i in range(num_clusters)]
+    driver = Account.create(label="driver", seed=990 + seed * 10)
+    chain = Blockchain(accounts, block_period=1.0)
+    chain.register_account(driver)
+    chain.deploy_contract(UnifyFLContract(mode=mode, scorer_seed=seed))
+    swarm = IPFSSwarm()
+
+    cluster_parts = IIDPartitioner(num_clusters, seed=seed).partition(train)
+    score_parts = IIDPartitioner(num_clusters, seed=seed + 1).partition(test)
+
+    aggregators = []
+    for i in range(num_clusters):
+        config = ClusterConfig(
+            name=f"agg{i + 1}",
+            num_clients=2,
+            aggregation_policy="all",
+            aggregator_profile=EDGE_CPU_NODE,
+            client_profile=DOCKER_CONTAINER,
+            malicious=(i in malicious),
+        )
+        client_parts = IIDPartitioner(2, seed=seed + 10 + i).partition(cluster_parts[i])
+        clients = [
+            Client(
+                f"{config.name}-c{j}",
+                model.clone(),
+                part,
+                config=ClientConfig(local_epochs=1, batch_size=8, learning_rate=0.05, seed=seed + j),
+            )
+            for j, part in enumerate(client_parts)
+        ]
+        aggregators.append(
+            UnifyFLAggregator(
+                config=config,
+                workload=workload,
+                account=accounts[i],
+                chain=chain,
+                ipfs_node=swarm.create_node(f"{config.name}-ipfs"),
+                model_template=model,
+                clients=clients,
+                scorer=AccuracyScorer(model, score_parts[i]),
+                eval_data=test,
+                timing_model=timing,
+                attack=SignFlipAttack() if i in malicious else None,
+                resource_monitor=monitor,
+                seed=seed + i,
+            )
+        )
+    return chain, driver, aggregators, timing, test
+
+
+class TestAggregatorUnit:
+    def test_register_appears_on_contract(self):
+        chain, driver, aggregators, timing, _ = build_federation()
+        aggregators[0].register()
+        assert aggregators[0].address in chain.call("unifyfl", "getAggregators")
+
+    def test_submit_stores_on_ipfs_and_contract(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        for aggregator in aggregators:
+            aggregator.register()
+        aggregator = aggregators[0]
+        cid, timing_record = aggregator.submit_local_model()
+        assert timing_record.store_time > 0
+        assert aggregator.ipfs.has_local(__import__("repro.ipfs.cid", fromlist=["parse_cid"]).parse_cid(cid))
+        submission = chain.call("unifyfl", "getSubmission", {"cid": cid})
+        assert submission["submitter"] == aggregator.address
+
+    def test_fetch_weights_round_trip(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        for aggregator in aggregators:
+            aggregator.register()
+        cid, _ = aggregators[0].submit_local_model()
+        fetched = aggregators[1].fetch_weights(cid)
+        assert weights_allclose(fetched, aggregators[0].local_weights)
+
+    def test_malicious_aggregator_submits_poisoned_weights(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async", malicious=(0,))
+        for aggregator in aggregators:
+            aggregator.register()
+        cid, _ = aggregators[0].submit_local_model()
+        fetched = aggregators[1].fetch_weights(cid)
+        # Sign-flip: the stored model is the negation of the honest local model.
+        assert weights_allclose(fetched, [-w for w in aggregators[0].local_weights])
+
+    def test_build_global_model_without_peers_keeps_local(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        for aggregator in aggregators:
+            aggregator.register()
+        aggregator = aggregators[0]
+        before = [np.array(w, copy=True) for w in aggregator.local_weights]
+        aggregator.build_global_model()
+        assert weights_allclose(aggregator.global_weights, before)
+
+    def test_build_global_model_merges_peer(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        for aggregator in aggregators:
+            aggregator.register()
+        # Peer trains first so its submitted model actually differs from agg0's.
+        aggregators[1].local_training_round()
+        aggregators[1].submit_local_model()
+        aggregators[0].build_global_model()
+        # The merged model is no longer identical to agg0's own local model.
+        assert not weights_allclose(aggregators[0].global_weights, aggregators[0].local_weights)
+
+    def test_local_training_round_changes_local_weights(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        aggregator = aggregators[0]
+        aggregator.register()
+        before = [np.array(w, copy=True) for w in aggregator.local_weights]
+        timing_record = aggregator.local_training_round()
+        assert timing_record.client_training_time > 0
+        assert not weights_allclose(before, aggregator.local_weights)
+
+    def test_score_assigned_submits_scores(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        for aggregator in aggregators:
+            aggregator.register()
+        cid, _ = aggregators[0].submit_local_model()
+        submission = chain.call("unifyfl", "getSubmission", {"cid": cid})
+        scorer_agg = next(a for a in aggregators if a.address in submission["assigned_scorers"])
+        scorer_agg.score_assigned()
+        submission = chain.call("unifyfl", "getSubmission", {"cid": cid})
+        assert scorer_agg.address in submission["scores"]
+        assert 0.0 <= submission["scores"][scorer_agg.address] <= 1.0
+
+    def test_record_round_tracks_metrics(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        aggregator = aggregators[0]
+        aggregator.register()
+        aggregator.build_global_model()
+        aggregator.local_training_round()
+        from repro.core.timing import RoundTiming
+
+        record = aggregator.record_round(1, RoundTiming())
+        assert 0.0 <= record.global_accuracy <= 1.0
+        assert record.round_number == 1
+        assert aggregator.final_record is record
+
+    def test_clock_advances_with_activity(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        aggregator = aggregators[0]
+        aggregator.register()
+        assert aggregator.total_time() == 0.0
+        aggregator.local_training_round()
+        assert aggregator.total_time() > 0.0
+
+    def test_malicious_without_attack_rejected(self):
+        chain, driver, aggregators, timing, test = build_federation(mode="async")
+        source = aggregators[0]
+        bad_config = ClusterConfig(name="evil", num_clients=2, malicious=True)
+        with pytest.raises(ValueError):
+            UnifyFLAggregator(
+                config=bad_config,
+                workload=source.workload,
+                account=Account.create(seed=1),
+                chain=chain,
+                ipfs_node=source.ipfs,
+                model_template=source.model,
+                clients=source.clients,
+                scorer=source.scorer,
+                eval_data=test,
+                timing_model=timing,
+            )
+
+    def test_resource_monitor_receives_samples(self):
+        monitor = ResourceMonitor()
+        chain, driver, aggregators, timing, _ = build_federation(mode="async", monitor=monitor)
+        aggregator = aggregators[0]
+        aggregator.register()
+        aggregator.local_training_round()
+        assert "client" in monitor.process_types()
+        assert "agg" in monitor.process_types()
+
+
+class TestSyncOrchestrator:
+    def test_two_rounds_complete(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        orchestrator = SyncOrchestrator(chain, driver, aggregators, timing)
+        result = orchestrator.run(2)
+        assert result.rounds_completed == 2
+        assert all(len(h) == 2 for h in result.histories.values())
+
+    def test_all_aggregators_share_the_same_total_time(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        orchestrator = SyncOrchestrator(chain, driver, aggregators, timing)
+        result = orchestrator.run(2)
+        times = list(result.total_times.values())
+        assert max(times) - min(times) < 1e-6
+
+    def test_idle_time_recorded(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        orchestrator = SyncOrchestrator(chain, driver, aggregators, timing)
+        result = orchestrator.run(1)
+        assert any(idle > 0 for idle in result.idle_times.values())
+
+    def test_every_aggregator_scored_peers(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        SyncOrchestrator(chain, driver, aggregators, timing).run(1)
+        records = chain.call("unifyfl", "getLatestModelsWithScores")
+        assert len(records) == 3
+        assert all(len(r["scores"]) == 2 for r in records)
+
+    def test_tight_window_causes_stragglers(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        orchestrator = SyncOrchestrator(
+            chain, driver, aggregators, timing, training_window=0.5, scoring_window=5.0
+        )
+        result = orchestrator.run(2)
+        assert sum(result.straggler_counts.values()) > 0
+
+    def test_requires_aggregators(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        with pytest.raises(ValueError):
+            SyncOrchestrator(chain, driver, [], timing)
+
+    def test_rejects_zero_rounds(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        orchestrator = SyncOrchestrator(chain, driver, aggregators, timing)
+        with pytest.raises(ValueError):
+            orchestrator.run(0)
+
+
+class TestAsyncOrchestrator:
+    def test_two_rounds_complete(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        orchestrator = AsyncOrchestrator(chain, driver, aggregators, timing)
+        result = orchestrator.run(2)
+        assert result.rounds_completed == 2
+        assert all(len(h) == 2 for h in result.histories.values())
+
+    def test_async_total_times_differ_across_clusters(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        # Make the hardware heterogeneous so clusters genuinely diverge in time.
+        from repro.simnet.hardware import RASPBERRY_PI_400
+
+        aggregators[0].config = ClusterConfig(
+            name=aggregators[0].config.name, num_clients=2, client_profile=RASPBERRY_PI_400
+        )
+        result = AsyncOrchestrator(chain, driver, aggregators, timing).run(2)
+        times = sorted(result.total_times.values())
+        assert times[-1] > times[0]
+
+    def test_async_faster_than_sync(self):
+        sync_chain, sync_driver, sync_aggs, sync_timing, _ = build_federation(mode="sync", seed=2)
+        sync_result = SyncOrchestrator(sync_chain, sync_driver, sync_aggs, sync_timing).run(2)
+        async_chain, async_driver, async_aggs, async_timing, _ = build_federation(mode="async", seed=2)
+        async_result = AsyncOrchestrator(async_chain, async_driver, async_aggs, async_timing).run(2)
+        assert max(async_result.total_times.values()) < max(sync_result.total_times.values())
+
+    def test_scores_eventually_submitted(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        AsyncOrchestrator(chain, driver, aggregators, timing).run(2)
+        records = chain.call("unifyfl", "getLatestModelsWithScores")
+        assert any(len(r["scores"]) > 0 for r in records)
+
+    def test_no_idle_time_in_async(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        result = AsyncOrchestrator(chain, driver, aggregators, timing).run(2)
+        assert all(idle == 0.0 for idle in result.idle_times.values())

@@ -1,0 +1,166 @@
+"""Tests for experiment configuration and the timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    WorkloadConfig,
+    cifar10_workload,
+    edge_cluster_configs,
+    gpu_cluster_configs,
+    tiny_imagenet_workload,
+)
+from repro.core.timing import ClusterTimingModel, RoundTiming
+from repro.simnet.hardware import GPU_NODE, JETSON_NANO, RASPBERRY_PI_400
+
+
+class TestWorkloadConfig:
+    def test_cifar10_matches_paper_hyperparameters(self):
+        workload = cifar10_workload()
+        assert workload.learning_rate == 0.01
+        assert workload.local_epochs == 2
+        assert workload.batch_size == 5
+        assert workload.num_classes == 10
+        assert workload.reference_parameters == 62_000
+
+    def test_tiny_imagenet_matches_paper_hyperparameters(self):
+        workload = tiny_imagenet_workload()
+        assert workload.learning_rate == 0.01
+        assert workload.local_epochs == 2
+        assert workload.batch_size == 8  # scaled from 64 for the synthetic substrate
+        assert workload.reference_parameters == 138_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="x", model="cnn", dataset="cifar10", num_classes=10, rounds=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="x", model="cnn", dataset="cifar10", num_classes=10, learning_rate=0.0)
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        cluster = ClusterConfig(name="agg1")
+        assert cluster.num_clients == 3
+        assert cluster.strategy == "fedavg"
+        assert not cluster.malicious
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(name="agg1", num_clients=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(name="agg1", policy_k=0)
+
+
+class TestExperimentConfig:
+    def test_valid_config(self, tiny_workload):
+        config = ExperimentConfig(
+            name="ok", workload=tiny_workload, clusters=edge_cluster_configs(), rounds=2
+        )
+        assert config.num_clusters == 3
+
+    def test_rejects_bad_mode(self, tiny_workload):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", workload=tiny_workload, clusters=edge_cluster_configs(), mode="eventual")
+
+    def test_rejects_multikrum_in_async(self, tiny_workload):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                name="x",
+                workload=tiny_workload,
+                clusters=edge_cluster_configs(),
+                mode="async",
+                scoring_algorithm="multikrum",
+            )
+
+    def test_rejects_duplicate_cluster_names(self, tiny_workload):
+        clusters = [ClusterConfig(name="agg1"), ClusterConfig(name="agg1")]
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", workload=tiny_workload, clusters=clusters)
+
+    def test_rejects_empty_clusters(self, tiny_workload):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", workload=tiny_workload, clusters=[])
+
+
+class TestClusterFactories:
+    def test_gpu_cluster_configs(self):
+        clusters = gpu_cluster_configs(num_clusters=4)
+        assert len(clusters) == 4
+        assert all(c.aggregator_profile is GPU_NODE for c in clusters)
+        assert len({c.name for c in clusters}) == 4
+
+    def test_gpu_cluster_custom_strategies_and_policies(self):
+        clusters = gpu_cluster_configs(
+            num_clusters=2,
+            strategies=["fedavg", "fedyogi"],
+            policies=[("top_k", 2), ("all", 1)],
+            scoring_policies=["max", "mean"],
+        )
+        assert clusters[1].strategy == "fedyogi"
+        assert clusters[0].aggregation_policy == "top_k"
+        assert clusters[0].scoring_policy == "max"
+
+    def test_edge_cluster_heterogeneous_clients(self):
+        clusters = edge_cluster_configs()
+        profiles = [c.client_profile for c in clusters]
+        assert RASPBERRY_PI_400 in profiles and JETSON_NANO in profiles
+        assert len(clusters) == 3
+
+
+class TestTimingModel:
+    def test_round_timing_totals(self):
+        timing = RoundTiming(pull_time=1.0, client_training_time=5.0, scoring_time=2.0, idle_time=3.0)
+        assert timing.active_time == pytest.approx(8.0)
+        assert timing.total_time == pytest.approx(11.0)
+
+    def test_compute_scale_grows_with_model_size(self):
+        small = ClusterTimingModel(cifar10_workload())
+        large = ClusterTimingModel(tiny_imagenet_workload())
+        assert small.compute_scale == pytest.approx(1.0)
+        assert large.compute_scale > 5.0
+
+    def test_slow_hardware_trains_slower(self):
+        timing = ClusterTimingModel(cifar10_workload(), seed=0)
+        pi_cluster = ClusterConfig(name="pi", client_profile=RASPBERRY_PI_400)
+        jetson_cluster = ClusterConfig(name="jetson", client_profile=JETSON_NANO)
+        assert timing.client_training_time(pi_cluster, jitter=False) > timing.client_training_time(
+            jetson_cluster, jitter=False
+        )
+
+    def test_jitter_changes_but_stays_close(self):
+        timing = ClusterTimingModel(cifar10_workload(), seed=1)
+        cluster = ClusterConfig(name="pi", client_profile=RASPBERRY_PI_400)
+        base = timing.client_training_time(cluster, jitter=False)
+        jittered = [timing.client_training_time(cluster) for _ in range(20)]
+        assert any(abs(j - base) > 1e-9 for j in jittered)
+        assert all(0.5 * base < j < 2.0 * base for j in jittered)
+
+    def test_transfer_time_scales_with_model_size(self):
+        small = ClusterTimingModel(cifar10_workload())
+        large = ClusterTimingModel(tiny_imagenet_workload())
+        assert large.transfer_time(GPU_NODE) > small.transfer_time(GPU_NODE)
+
+    def test_scoring_time_zero_for_no_models(self):
+        timing = ClusterTimingModel(cifar10_workload())
+        cluster = ClusterConfig(name="a")
+        assert timing.scoring_time(cluster, 0) == 0.0
+
+    def test_multikrum_scoring_cheaper_than_accuracy(self):
+        timing = ClusterTimingModel(tiny_imagenet_workload())
+        cluster = ClusterConfig(name="a", aggregator_profile=GPU_NODE)
+        assert timing.scoring_time(cluster, 3, "multikrum") < timing.scoring_time(cluster, 3, "accuracy")
+
+    def test_sync_windows_exceed_expected_work(self):
+        workload = cifar10_workload()
+        timing = ClusterTimingModel(workload, seed=0)
+        clusters = edge_cluster_configs()
+        window = timing.expected_training_window(clusters)
+        slowest = max(timing.client_training_time(c, jitter=False) for c in clusters)
+        assert window > slowest
+
+    def test_chain_interaction_includes_block_period(self):
+        timing = ClusterTimingModel(cifar10_workload(), block_period=2.0)
+        assert timing.chain_interaction_time(1) >= 2.0

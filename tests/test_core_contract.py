@@ -1,0 +1,265 @@
+"""Tests for the UnifyFL orchestrator smart contract (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.blockchain import Blockchain
+from repro.chain.events import EventFilter
+from repro.core.contract import UnifyFLContract
+
+
+def _register(chain, accounts):
+    for account in accounts:
+        chain.send(account, "unifyfl", "registerAggregator")
+    chain.mine_until_empty()
+
+
+class TestRegistration:
+    def test_register_records_aggregators(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        registered = unifyfl_chain.call("unifyfl", "getAggregators")
+        assert registered == [a.address for a in validator_accounts]
+
+    def test_double_registration_reverts(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        tx_hash = unifyfl_chain.send(validator_accounts[0], "unifyfl", "registerAggregator")
+        unifyfl_chain.mine_until_empty()
+        receipt = unifyfl_chain.receipt(tx_hash)
+        assert not receipt.success
+        assert "already registered" in receipt.error
+
+    def test_registration_emits_event(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts[:1])
+        events = unifyfl_chain.events(EventFilter(name="AggregatorRegistered"))
+        assert len(events) == 1
+        assert events[0].payload["aggregator"] == validator_accounts[0].address
+
+
+class TestSyncPhases:
+    def test_start_training_increments_round_and_emits(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        unifyfl_chain.send(validator_accounts[0], "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+        assert unifyfl_chain.call("unifyfl", "getCurrentRound") == 1
+        assert unifyfl_chain.call("unifyfl", "getPhase") == "training"
+        assert len(unifyfl_chain.events(EventFilter(name="StartTraining"))) == 1
+
+    def test_start_training_requires_aggregators(self, unifyfl_chain, validator_accounts):
+        tx_hash = unifyfl_chain.send(validator_accounts[0], "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+        assert not unifyfl_chain.receipt(tx_hash).success
+
+    def test_submit_outside_training_phase_reverts(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        tx_hash = unifyfl_chain.send(
+            validator_accounts[0], "unifyfl", "submitModel", {"cid": "Qm" + "a" * 64}
+        )
+        unifyfl_chain.mine_until_empty()
+        assert not unifyfl_chain.receipt(tx_hash).success
+
+    def test_unregistered_submitter_reverts(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts[:2])
+        unifyfl_chain.send(validator_accounts[0], "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+        outsider = Account.create(seed=321)
+        unifyfl_chain.register_account(outsider)
+        tx_hash = unifyfl_chain.send(outsider, "unifyfl", "submitModel", {"cid": "Qm" + "b" * 64})
+        unifyfl_chain.mine_until_empty()
+        assert not unifyfl_chain.receipt(tx_hash).success
+
+    def test_full_sync_round_flow(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        driver = validator_accounts[0]
+        unifyfl_chain.send(driver, "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+
+        cids = ["Qm" + str(i) * 64 for i in range(len(validator_accounts))]
+        for account, cid in zip(validator_accounts, cids):
+            unifyfl_chain.send(account, "unifyfl", "submitModel", {"cid": cid, "timestamp": 1.0})
+        unifyfl_chain.mine_until_empty()
+        assert unifyfl_chain.call("unifyfl", "roundSubmissionCount", {"round_number": 1}) == 3
+
+        unifyfl_chain.send(driver, "unifyfl", "startScoring")
+        unifyfl_chain.mine_until_empty()
+        assert unifyfl_chain.call("unifyfl", "getPhase") == "scoring"
+
+        # Every submission received a majority of scorers (N // 2 + 1 = 2).
+        address_by_account = {a.address: a for a in validator_accounts}
+        for cid in cids:
+            submission = unifyfl_chain.call("unifyfl", "getSubmission", {"cid": cid})
+            scorers = submission["assigned_scorers"]
+            assert len(scorers) == 2
+            assert submission["submitter"] not in scorers
+            for scorer_address in scorers:
+                unifyfl_chain.send(
+                    address_by_account[scorer_address],
+                    "unifyfl",
+                    "submitScore",
+                    {"cid": cid, "score": 0.5, "timestamp": 2.0},
+                )
+        unifyfl_chain.mine_until_empty()
+
+        records = unifyfl_chain.call("unifyfl", "getLatestModelsWithScores")
+        assert len(records) == 3
+        assert all(len(r["scores"]) == 2 for r in records)
+
+        unifyfl_chain.send(driver, "unifyfl", "endRound")
+        unifyfl_chain.mine_until_empty()
+        assert unifyfl_chain.call("unifyfl", "getPhase") == "idle"
+
+    def test_duplicate_cid_rejected(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        unifyfl_chain.send(validator_accounts[0], "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+        cid = "Qm" + "c" * 64
+        unifyfl_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": cid})
+        unifyfl_chain.mine_until_empty()
+        tx_hash = unifyfl_chain.send(validator_accounts[1], "unifyfl", "submitModel", {"cid": cid})
+        unifyfl_chain.mine_until_empty()
+        assert not unifyfl_chain.receipt(tx_hash).success
+
+    def test_score_from_unassigned_scorer_reverts(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        driver = validator_accounts[0]
+        unifyfl_chain.send(driver, "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+        cid = "Qm" + "d" * 64
+        unifyfl_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": cid})
+        unifyfl_chain.mine_until_empty()
+        unifyfl_chain.send(driver, "unifyfl", "startScoring")
+        unifyfl_chain.mine_until_empty()
+        submission = unifyfl_chain.call("unifyfl", "getSubmission", {"cid": cid})
+        not_assigned = [
+            a for a in validator_accounts
+            if a.address not in submission["assigned_scorers"]
+        ]
+        # The submitter itself is never assigned with 3 aggregators.
+        tx_hash = unifyfl_chain.send(not_assigned[0], "unifyfl", "submitScore", {"cid": cid, "score": 1.0})
+        unifyfl_chain.mine_until_empty()
+        assert not unifyfl_chain.receipt(tx_hash).success
+
+    def test_scores_after_scoring_phase_rejected(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        driver = validator_accounts[0]
+        unifyfl_chain.send(driver, "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+        cid = "Qm" + "e" * 64
+        unifyfl_chain.send(validator_accounts[1], "unifyfl", "submitModel", {"cid": cid})
+        unifyfl_chain.mine_until_empty()
+        unifyfl_chain.send(driver, "unifyfl", "startScoring")
+        unifyfl_chain.mine_until_empty()
+        unifyfl_chain.send(driver, "unifyfl", "endRound")
+        unifyfl_chain.mine_until_empty()
+        submission = unifyfl_chain.call("unifyfl", "getSubmission", {"cid": cid})
+        scorer = next(a for a in validator_accounts if a.address in submission["assigned_scorers"])
+        tx_hash = unifyfl_chain.send(scorer, "unifyfl", "submitScore", {"cid": cid, "score": 0.9})
+        unifyfl_chain.mine_until_empty()
+        assert not unifyfl_chain.receipt(tx_hash).success
+
+
+class TestAsyncMode:
+    @pytest.fixture()
+    def async_chain(self, validator_accounts):
+        chain = Blockchain(validator_accounts, block_period=1.0)
+        chain.deploy_contract(UnifyFLContract(mode="async", scorer_seed=1))
+        _register(chain, validator_accounts)
+        return chain
+
+    def test_submission_allowed_without_phase(self, async_chain, validator_accounts):
+        cid = "Qm" + "f" * 64
+        async_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": cid, "timestamp": 3.0})
+        async_chain.mine_until_empty()
+        submission = async_chain.call("unifyfl", "getSubmission", {"cid": cid})
+        assert submission["cid"] == cid
+
+    def test_scorers_assigned_immediately(self, async_chain, validator_accounts):
+        cid = "Qm" + "1" * 64
+        async_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": cid})
+        async_chain.mine_until_empty()
+        submission = async_chain.call("unifyfl", "getSubmission", {"cid": cid})
+        assert len(submission["assigned_scorers"]) == 2
+        events = async_chain.events(EventFilter(name="ScorersAssigned"))
+        assert len(events) == 1
+
+    def test_pending_assignments_tracked_and_cleared(self, async_chain, validator_accounts):
+        cid = "Qm" + "2" * 64
+        async_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": cid})
+        async_chain.mine_until_empty()
+        submission = async_chain.call("unifyfl", "getSubmission", {"cid": cid})
+        scorer_address = submission["assigned_scorers"][0]
+        pending = async_chain.call("unifyfl", "getAssignedModels", {"scorer": scorer_address})
+        assert cid in pending
+        scorer = next(a for a in validator_accounts if a.address == scorer_address)
+        async_chain.send(scorer, "unifyfl", "submitScore", {"cid": cid, "score": 0.4})
+        async_chain.mine_until_empty()
+        pending_after = async_chain.call("unifyfl", "getAssignedModels", {"scorer": scorer_address})
+        assert cid not in pending_after
+
+    def test_before_time_filters_visibility(self, async_chain, validator_accounts):
+        early = "Qm" + "3" * 64
+        late = "Qm" + "4" * 64
+        async_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": early, "timestamp": 10.0})
+        async_chain.send(validator_accounts[1], "unifyfl", "submitModel", {"cid": late, "timestamp": 100.0})
+        async_chain.mine_until_empty()
+        visible = async_chain.call("unifyfl", "getLatestModelsWithScores", {"before_time": 50.0})
+        cids = {r["cid"] for r in visible}
+        assert early in cids and late not in cids
+
+    def test_score_timestamps_filtered(self, async_chain, validator_accounts):
+        cid = "Qm" + "5" * 64
+        async_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": cid, "timestamp": 1.0})
+        async_chain.mine_until_empty()
+        submission = async_chain.call("unifyfl", "getSubmission", {"cid": cid})
+        scorer = next(a for a in validator_accounts if a.address == submission["assigned_scorers"][0])
+        async_chain.send(scorer, "unifyfl", "submitScore", {"cid": cid, "score": 0.7, "timestamp": 90.0})
+        async_chain.mine_until_empty()
+        early_view = async_chain.call("unifyfl", "getLatestModelsWithScores", {"before_time": 50.0})
+        late_view = async_chain.call("unifyfl", "getLatestModelsWithScores", {"before_time": 100.0})
+        assert early_view[0]["scores"] == {}
+        assert len(late_view[0]["scores"]) == 1
+
+    def test_start_scoring_rejected_in_async(self, async_chain, validator_accounts):
+        tx_hash = async_chain.send(validator_accounts[0], "unifyfl", "startScoring")
+        async_chain.mine_until_empty()
+        assert not async_chain.receipt(tx_hash).success
+
+
+class TestViews:
+    def test_exclude_submitter(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        unifyfl_chain.send(validator_accounts[0], "unifyfl", "startTraining")
+        unifyfl_chain.mine_until_empty()
+        unifyfl_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": "Qm" + "7" * 64})
+        unifyfl_chain.send(validator_accounts[1], "unifyfl", "submitModel", {"cid": "Qm" + "8" * 64})
+        unifyfl_chain.mine_until_empty()
+        filtered = unifyfl_chain.call(
+            "unifyfl",
+            "getLatestModelsWithScores",
+            {"exclude_submitter": validator_accounts[0].address},
+        )
+        assert len(filtered) == 1
+        assert filtered[0]["submitter"] == validator_accounts[1].address
+
+    def test_get_submission_unknown_cid(self, unifyfl_chain, validator_accounts):
+        from repro.chain.contract import ContractError
+
+        with pytest.raises(ContractError):
+            unifyfl_chain.call("unifyfl", "getSubmission", {"cid": "Qm" + "9" * 64})
+
+    def test_scorer_assignment_is_deterministic(self):
+        def assignment(seed):
+            accounts = [Account.create(label=f"v{i}", seed=500 + i) for i in range(3)]
+            chain = Blockchain(accounts, block_period=1.0)
+            chain.deploy_contract(UnifyFLContract(mode="async", scorer_seed=seed))
+            _register(chain, accounts)
+            chain.send(accounts[0], "unifyfl", "submitModel", {"cid": "Qm" + "a" * 64})
+            chain.mine_until_empty()
+            return tuple(chain.call("unifyfl", "getSubmission", {"cid": "Qm" + "a" * 64})["assigned_scorers"])
+
+        assert assignment(7) == assignment(7)
+
+    def test_contract_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            UnifyFLContract(mode="turbo")

@@ -1,0 +1,233 @@
+"""Tests for synthetic datasets, partitioners and the data loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.dataloader import DataLoader, train_test_split
+from repro.datasets.partition import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    ShardPartitioner,
+    partition_dataset,
+)
+from repro.datasets.synthetic import (
+    Dataset,
+    SyntheticCIFAR10,
+    SyntheticImageDataset,
+    SyntheticTinyImageNet,
+    make_classification_dataset,
+)
+
+
+class TestSyntheticDatasets:
+    def test_cifar10_shapes(self):
+        train, test = SyntheticCIFAR10(image_size=8, samples_per_class=5, test_samples_per_class=2, seed=0).splits()
+        assert train.x.shape == (50, 3, 8, 8)
+        assert test.x.shape == (20, 3, 8, 8)
+        assert train.num_classes == 10
+
+    def test_tiny_imagenet_class_count(self):
+        train, _ = SyntheticTinyImageNet(num_classes=15, samples_per_class=4, test_samples_per_class=2, seed=0).splits()
+        assert train.num_classes == 15
+        assert set(np.unique(train.y)) == set(range(15))
+
+    def test_deterministic_by_seed(self):
+        a = SyntheticCIFAR10(image_size=8, samples_per_class=3, test_samples_per_class=2, seed=5).train_split()
+        b = SyntheticCIFAR10(image_size=8, samples_per_class=3, test_samples_per_class=2, seed=5).train_split()
+        assert np.allclose(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCIFAR10(image_size=8, samples_per_class=3, test_samples_per_class=2, seed=1).train_split()
+        b = SyntheticCIFAR10(image_size=8, samples_per_class=3, test_samples_per_class=2, seed=2).train_split()
+        assert not np.allclose(a.x, b.x)
+
+    def test_train_test_disjoint_noise(self):
+        factory = SyntheticCIFAR10(image_size=8, samples_per_class=3, test_samples_per_class=3, seed=0)
+        train, test = factory.splits()
+        assert not np.allclose(train.x[:3], test.x[:3])
+
+    def test_balanced_classes(self):
+        train, _ = SyntheticCIFAR10(image_size=8, samples_per_class=7, test_samples_per_class=2, seed=0).splits()
+        counts = train.class_counts()
+        assert np.all(counts == 7)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=1)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=3, samples_per_class=0)
+
+    def test_dataset_subset(self):
+        train, _ = SyntheticCIFAR10(image_size=8, samples_per_class=4, test_samples_per_class=2, seed=0).splits()
+        sub = train.subset(np.arange(5))
+        assert len(sub) == 5
+        assert sub.num_classes == train.num_classes
+
+    def test_dataset_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((3, 2)), y=np.zeros(2, dtype=int), num_classes=2)
+
+    def test_tabular_dataset_learnable_structure(self):
+        ds = make_classification_dataset(num_samples=100, num_classes=4, seed=0)
+        assert len(ds) == 100
+        assert ds.num_classes == 4
+        assert set(np.unique(ds.y)).issubset(set(range(4)))
+
+    def test_tabular_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            make_classification_dataset(num_samples=2, num_classes=5)
+
+
+class TestIIDPartitioner:
+    def test_covers_all_indices_exactly_once(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        parts = IIDPartitioner(4, seed=0).partition_indices(train)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(len(train)))
+
+    def test_roughly_equal_sizes(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        parts = IIDPartitioner(5, seed=0).partition_indices(train)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_more_partitions_than_samples(self):
+        ds = make_classification_dataset(num_samples=4, num_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            IIDPartitioner(10, seed=0).partition_indices(ds)
+
+    def test_rejects_nonpositive_partitions(self):
+        with pytest.raises(ValueError):
+            IIDPartitioner(0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_parts=st.integers(2, 6), seed=st.integers(0, 100))
+    def test_property_partition_is_exact_cover(self, num_parts, seed):
+        ds = make_classification_dataset(num_samples=60, num_classes=4, seed=1)
+        parts = IIDPartitioner(num_parts, seed=seed).partition_indices(ds)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(60))
+
+
+class TestDirichletPartitioner:
+    def test_covers_all_indices(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        parts = DirichletPartitioner(3, alpha=0.5, seed=0).partition_indices(train)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(len(train)))
+
+    def test_min_samples_respected(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        parts = DirichletPartitioner(3, alpha=0.1, min_samples=3, seed=2).partition_indices(train)
+        assert min(len(p) for p in parts) >= 3
+
+    def test_low_alpha_more_skewed_than_high_alpha(self):
+        ds = SyntheticCIFAR10(image_size=8, samples_per_class=30, test_samples_per_class=2, seed=0).train_split()
+
+        def skew(alpha, seed):
+            parts = DirichletPartitioner(3, alpha=alpha, seed=seed).partition(ds)
+            # measure label imbalance: mean std-dev of class proportions per partition
+            stds = []
+            for p in parts:
+                counts = p.class_counts().astype(float)
+                proportions = counts / max(counts.sum(), 1)
+                stds.append(proportions.std())
+            return float(np.mean(stds))
+
+        skew_low = np.mean([skew(0.1, s) for s in range(3)])
+        skew_high = np.mean([skew(5.0, s) for s in range(3)])
+        assert skew_low > skew_high
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            DirichletPartitioner(3, alpha=0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(alpha=st.floats(0.05, 5.0), seed=st.integers(0, 50))
+    def test_property_exact_cover(self, alpha, seed):
+        ds = SyntheticCIFAR10(image_size=8, samples_per_class=10, test_samples_per_class=2, seed=3).train_split()
+        parts = DirichletPartitioner(4, alpha=alpha, min_samples=1, seed=seed).partition_indices(ds)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(len(ds)))
+
+
+class TestShardPartitioner:
+    def test_covers_all_indices(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        parts = ShardPartitioner(4, shards_per_partition=2, seed=0).partition_indices(train)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(len(train)))
+
+    def test_partitions_are_label_concentrated(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        parts = ShardPartitioner(5, shards_per_partition=1, seed=0).partition(train)
+        # With one shard per partition, each partition holds at most ~3 labels.
+        for p in parts:
+            assert len(np.unique(p.y)) <= 4
+
+    def test_rejects_too_many_shards(self):
+        ds = make_classification_dataset(num_samples=5, num_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            ShardPartitioner(3, shards_per_partition=3).partition_indices(ds)
+
+
+class TestPartitionDataset:
+    def test_scheme_names(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        for scheme in ("iid", "dirichlet", "shard", "niid"):
+            parts = partition_dataset(train, 3, scheme=scheme, seed=0)
+            assert len(parts) == 3
+
+    def test_unknown_scheme(self, tiny_image_dataset):
+        train, _ = tiny_image_dataset
+        with pytest.raises(ValueError):
+            partition_dataset(train, 3, scheme="bogus")
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self, tabular_dataset):
+        loader = DataLoader(tabular_dataset, batch_size=32, shuffle=True, seed=0)
+        total = sum(len(yb) for _, yb in loader)
+        assert total == len(tabular_dataset)
+
+    def test_len_counts_partial_batch(self, tabular_dataset):
+        loader = DataLoader(tabular_dataset, batch_size=50, drop_last=False)
+        assert len(loader) == int(np.ceil(len(tabular_dataset) / 50))
+
+    def test_drop_last(self, tabular_dataset):
+        loader = DataLoader(tabular_dataset, batch_size=50, drop_last=True)
+        for xb, _ in loader:
+            assert len(xb) == 50
+
+    def test_rejects_bad_batch_size(self, tabular_dataset):
+        with pytest.raises(ValueError):
+            DataLoader(tabular_dataset, batch_size=0)
+
+    def test_no_shuffle_is_ordered(self, tabular_dataset):
+        loader = DataLoader(tabular_dataset, batch_size=16, shuffle=False)
+        first_x, _ = next(iter(loader))
+        assert np.allclose(first_x, tabular_dataset.x[:16])
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, tabular_dataset):
+        train, test = train_test_split(tabular_dataset, test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(tabular_dataset)
+        assert len(test) == round(0.25 * len(tabular_dataset))
+
+    def test_disjoint(self, tabular_dataset):
+        train, test = train_test_split(tabular_dataset, test_fraction=0.25, seed=0)
+        # No row of test.x appears in train.x.
+        combined = np.vstack([train.x, test.x])
+        assert combined.shape[0] == len(tabular_dataset)
+
+    def test_invalid_fraction(self, tabular_dataset):
+        with pytest.raises(ValueError):
+            train_test_split(tabular_dataset, test_fraction=1.5)

@@ -1,0 +1,142 @@
+"""Tests for the loss-based and cosine-similarity scoring algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig, cifar10_workload, edge_cluster_configs
+from repro.core.runner import run_experiment
+from repro.core.scorer import CosineSimilarityScorer, LossScorer, build_scorer
+from repro.core.timing import ClusterTimingModel
+from repro.ml.models import MLP
+
+
+class TestLossScorer:
+    def test_scores_in_unit_interval(self, tabular_dataset):
+        model = MLP(input_dim=10, hidden_dims=(8,), num_classes=3, seed=0)
+        scorer = LossScorer(model, tabular_dataset)
+        score = scorer.score(model.get_weights())
+        assert 0.0 < score <= 1.0
+
+    def test_trained_model_scores_higher(self, tabular_dataset):
+        model = MLP(input_dim=10, hidden_dims=(32,), num_classes=3, seed=0)
+        scorer = LossScorer(model, tabular_dataset)
+        random_score = scorer.score(model.get_weights())
+        trained = model.clone()
+        trained.fit(tabular_dataset.x, tabular_dataset.y, epochs=15, batch_size=32)
+        assert scorer.score(trained.get_weights()) > random_score
+
+    def test_rejects_empty_test_data(self, tabular_dataset):
+        model = MLP(input_dim=10, num_classes=3, seed=0)
+        empty = tabular_dataset.subset(np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            LossScorer(model, empty)
+
+    def test_works_in_both_modes(self):
+        assert LossScorer.requires_full_round is False
+
+
+class TestCosineSimilarityScorer:
+    def _weights(self, direction, scale=1.0, seed=0):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(5, 5))
+        return [direction * scale * base, direction * np.ones(3) * scale]
+
+    def test_outlier_direction_scores_lowest(self):
+        scorer = CosineSimilarityScorer()
+        round_weights = {
+            "h1": self._weights(+1.0, seed=1),
+            "h2": self._weights(+1.0, scale=1.1, seed=1),
+            "h3": self._weights(+1.0, scale=0.9, seed=1),
+            "flipped": self._weights(-1.0, seed=1),
+        }
+        scores = scorer.score_round(round_weights)
+        assert min(scores, key=scores.get) == "flipped"
+
+    def test_scores_bounded(self):
+        scorer = CosineSimilarityScorer()
+        round_weights = {f"m{i}": self._weights(1.0, seed=i) for i in range(4)}
+        scores = scorer.score_round(round_weights)
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+    def test_single_model_scores_one(self):
+        scorer = CosineSimilarityScorer()
+        assert scorer.score_round({"only": self._weights(1.0)}) == {"only": 1.0}
+
+    def test_requires_round_context(self):
+        with pytest.raises(ValueError):
+            CosineSimilarityScorer().score(self._weights(1.0))
+
+    def test_score_via_context(self):
+        scorer = CosineSimilarityScorer()
+        round_weights = {"a": self._weights(1.0, seed=2), "b": self._weights(-1.0, seed=2)}
+        scores = scorer.score_round(round_weights)
+        assert scorer.score(round_weights["b"], context={"round_weights": round_weights, "cid": "b"}) == pytest.approx(
+            scores["b"]
+        )
+
+    def test_is_sync_only(self):
+        assert CosineSimilarityScorer.requires_full_round is True
+
+
+class TestRegistryAndConfig:
+    def test_build_scorer_new_names(self, tabular_dataset):
+        model = MLP(input_dim=10, num_classes=3, seed=0)
+        assert isinstance(build_scorer("loss", model, tabular_dataset), LossScorer)
+        assert isinstance(build_scorer("cosine"), CosineSimilarityScorer)
+
+    def test_loss_requires_data(self):
+        with pytest.raises(ValueError):
+            build_scorer("loss")
+
+    def test_config_accepts_new_algorithms(self, tiny_workload):
+        config = ExperimentConfig(
+            name="loss-config",
+            workload=tiny_workload,
+            clusters=edge_cluster_configs(num_clients=2),
+            mode="async",
+            scoring_algorithm="loss",
+            rounds=2,
+        )
+        assert config.scoring_algorithm == "loss"
+
+    def test_cosine_rejected_in_async(self, tiny_workload):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                name="cosine-async",
+                workload=tiny_workload,
+                clusters=edge_cluster_configs(num_clients=2),
+                mode="async",
+                scoring_algorithm="cosine",
+                rounds=2,
+            )
+
+    def test_cosine_scoring_is_cheaper_than_accuracy(self):
+        timing = ClusterTimingModel(cifar10_workload())
+        cluster = edge_cluster_configs()[0]
+        assert timing.scoring_time(cluster, 3, "cosine") < timing.scoring_time(cluster, 3, "accuracy")
+
+
+class TestEndToEndWithNewScorers:
+    def _config(self, scoring, mode):
+        return ExperimentConfig(
+            name=f"e2e-{scoring}",
+            workload=cifar10_workload(rounds=2, samples_per_class=12, image_size=8),
+            clusters=edge_cluster_configs(num_clients=2),
+            mode=mode,
+            partitioning="iid",
+            scoring_algorithm=scoring,
+            rounds=2,
+            seed=23,
+        )
+
+    def test_loss_scoring_full_run(self):
+        result = run_experiment(self._config("loss", "async"))
+        assert result.scoring_algorithm == "loss"
+        assert len(result.aggregators) == 3
+
+    def test_cosine_scoring_full_run(self):
+        result = run_experiment(self._config("cosine", "sync"))
+        assert result.scoring_algorithm == "cosine"
+        assert all(len(a.history) == 2 for a in result.aggregators)

@@ -1,0 +1,194 @@
+"""Tests for the content-addressed distributed storage substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipfs.blockstore import BlockStore
+from repro.ipfs.cid import CID, compute_cid, parse_cid
+from repro.ipfs.node import IPFSError, IPFSNode
+from repro.ipfs.swarm import IPFSSwarm
+from repro.ml.serialization import weights_from_bytes, weights_to_bytes
+
+
+class TestCID:
+    def test_deterministic(self):
+        assert compute_cid(b"hello") == compute_cid(b"hello")
+
+    def test_different_content_different_cid(self):
+        assert compute_cid(b"a") != compute_cid(b"b")
+
+    def test_verify(self):
+        cid = compute_cid(b"payload")
+        assert cid.verify(b"payload")
+        assert not cid.verify(b"other")
+
+    def test_parse_round_trip(self):
+        cid = compute_cid(b"x")
+        assert parse_cid(str(cid)) == cid
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            CID("notacid")
+        with pytest.raises(ValueError):
+            CID("Qm" + "z" * 10)
+
+    def test_ordering_is_stable(self):
+        cids = sorted([compute_cid(b"a"), compute_cid(b"b"), compute_cid(b"c")])
+        assert cids == sorted(cids)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=2048))
+    def test_property_cid_verifies_own_content(self, payload):
+        assert compute_cid(payload).verify(payload)
+
+
+class TestBlockStore:
+    def test_put_get_round_trip(self):
+        store = BlockStore(chunk_size=64)
+        payload = bytes(range(256)) * 3
+        obj = store.put(payload)
+        assert store.get(obj.cid) == payload
+
+    def test_chunking_produces_multiple_blocks(self):
+        store = BlockStore(chunk_size=10)
+        obj = store.put(b"x" * 95)
+        assert len(obj.chunk_cids) == 10
+
+    def test_empty_payload(self):
+        store = BlockStore(chunk_size=16)
+        obj = store.put(b"")
+        assert store.get(obj.cid) == b""
+
+    def test_identical_content_same_cid(self):
+        store = BlockStore()
+        assert store.put(b"same").cid == store.put(b"same").cid
+
+    def test_missing_object_returns_none(self):
+        store = BlockStore()
+        assert store.get(compute_cid(b"missing")) is None
+
+    def test_delete_keeps_shared_blocks(self):
+        store = BlockStore(chunk_size=4)
+        a = store.put(b"aaaabbbb")
+        b = store.put(b"aaaacccc")  # shares the "aaaa" block
+        store.delete(a.cid)
+        assert store.get(b.cid) == b"aaaacccc"
+
+    def test_delete_frees_unreferenced_blocks(self):
+        store = BlockStore(chunk_size=4)
+        obj = store.put(b"onlymine")
+        before = store.stored_bytes
+        assert store.delete(obj.cid)
+        assert store.stored_bytes < before
+
+    def test_put_object_verifies_blocks(self):
+        source = BlockStore(chunk_size=8)
+        target = BlockStore(chunk_size=8)
+        obj = source.put(b"replicate me please")
+        blocks = source.blocks_for(obj.cid)
+        tampered = dict(blocks)
+        first_cid = next(iter(tampered))
+        tampered[first_cid] = b"EVIL" + tampered[first_cid][4:]
+        with pytest.raises(ValueError):
+            target.put_object(obj, tampered)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=4096), st.integers(1, 512))
+    def test_property_round_trip_any_chunk_size(self, payload, chunk_size):
+        store = BlockStore(chunk_size=chunk_size)
+        obj = store.put(payload)
+        assert store.get(obj.cid) == payload
+
+
+class TestNodeAndSwarm:
+    def test_add_and_get_local(self, ipfs_swarm):
+        node = ipfs_swarm.node("node-a")
+        cid = node.add(b"model weights")
+        assert node.get(cid) == b"model weights"
+        assert node.has_local(cid)
+
+    def test_peer_fetch_replicates(self, ipfs_swarm):
+        a, b = ipfs_swarm.node("node-a"), ipfs_swarm.node("node-b")
+        cid = a.add(b"shared content")
+        assert not b.has_local(cid)
+        assert b.get(cid) == b"shared content"
+        assert b.has_local(cid)
+        assert ipfs_swarm.replication_factor(cid) == 2
+
+    def test_fetch_unknown_cid_raises(self, ipfs_swarm):
+        node = ipfs_swarm.node("node-a")
+        with pytest.raises(IPFSError):
+            node.get(compute_cid(b"never stored"))
+
+    def test_isolated_node_cannot_fetch_remote(self):
+        node = IPFSNode("loner")
+        with pytest.raises(IPFSError):
+            node.get(compute_cid(b"elsewhere"))
+
+    def test_pin_protects_from_gc(self, ipfs_swarm):
+        node = ipfs_swarm.node("node-a")
+        pinned = node.add(b"keep me", pin=True)
+        unpinned = node.add(b"throw me away", pin=False)
+        removed = node.garbage_collect()
+        assert unpinned in removed
+        assert node.has_local(pinned)
+        assert not node.has_local(unpinned)
+
+    def test_unpin_then_gc_removes(self, ipfs_swarm):
+        node = ipfs_swarm.node("node-a")
+        cid = node.add(b"temporary", pin=True)
+        node.unpin(cid)
+        node.garbage_collect()
+        assert not node.has_local(cid)
+
+    def test_pin_unknown_cid_raises(self, ipfs_swarm):
+        with pytest.raises(IPFSError):
+            ipfs_swarm.node("node-a").pin(compute_cid(b"absent"))
+
+    def test_gc_withdraws_provider_record(self, ipfs_swarm):
+        a, b = ipfs_swarm.node("node-a"), ipfs_swarm.node("node-b")
+        cid = a.add(b"ephemeral", pin=False)
+        a.garbage_collect()
+        with pytest.raises(IPFSError):
+            b.get(cid)
+
+    def test_transfer_stats_recorded(self, ipfs_swarm):
+        a, b = ipfs_swarm.node("node-a"), ipfs_swarm.node("node-b")
+        payload = b"z" * 10_000
+        cid = a.add(payload)
+        b.get(cid)
+        assert ipfs_swarm.total_transferred_bytes() == len(payload)
+        assert len(ipfs_swarm.transfers) == 1
+        assert b.stats.bytes_received_from_peers == len(payload)
+        assert a.stats.bytes_sent_to_peers == len(payload)
+
+    def test_duplicate_node_id_rejected(self, ipfs_swarm):
+        with pytest.raises(IPFSError):
+            ipfs_swarm.create_node("node-a")
+
+    def test_unknown_node_lookup(self, ipfs_swarm):
+        with pytest.raises(IPFSError):
+            ipfs_swarm.node("node-z")
+
+    def test_empty_node_id_rejected(self):
+        with pytest.raises(ValueError):
+            IPFSNode("")
+
+    def test_model_weights_round_trip_through_swarm(self, ipfs_swarm, small_cnn):
+        """The end-to-end path UnifyFL uses: serialize → add → fetch → deserialize."""
+        a, b = ipfs_swarm.node("node-a"), ipfs_swarm.node("node-b")
+        weights = small_cnn.get_weights()
+        cid = a.add(weights_to_bytes(weights))
+        restored = weights_from_bytes(b.get(cid))
+        for original, received in zip(weights, restored):
+            assert np.allclose(original, received)
+
+    def test_total_stored_bytes_counts_replicas(self, ipfs_swarm):
+        a, b = ipfs_swarm.node("node-a"), ipfs_swarm.node("node-b")
+        cid = a.add(b"q" * 1000)
+        b.get(cid)
+        assert ipfs_swarm.total_stored_bytes() >= 2000

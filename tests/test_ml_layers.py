@@ -1,0 +1,344 @@
+"""Unit tests for the neural-network layers, including numeric gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import (
+    BatchNorm1d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Softmax,
+)
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = f()
+        x[idx] = original - eps
+        minus = f()
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_rejects_bad_input_dim(self):
+        layer = Dense(4, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 6)))
+
+    def test_rejects_non_2d_input(self):
+        layer = Dense(4, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 4, 1)))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_gradient_matches_numeric_weight(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2 * out)
+        numeric = numeric_gradient(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-4)
+
+    def test_gradient_matches_numeric_bias(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2 * out)
+        numeric = numeric_gradient(loss, layer.bias)
+        assert np.allclose(layer.grad_bias, numeric, atol=1e-4)
+
+    def test_gradient_matches_numeric_input(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        out = layer.forward(x)
+        grad_input = layer.backward(2 * out)
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(grad_input, numeric, atol=1e-4)
+
+    def test_set_parameters_shape_mismatch(self):
+        layer = Dense(3, 2)
+        with pytest.raises(ValueError):
+            layer.set_parameters([np.zeros((2, 3)), np.zeros(2)])
+
+    def test_set_parameters_replaces_values(self):
+        layer = Dense(2, 2)
+        new_w = np.full((2, 2), 7.0)
+        new_b = np.full(2, -1.0)
+        layer.set_parameters([new_w, new_b])
+        assert np.allclose(layer.weight, 7.0)
+        assert np.allclose(layer.bias, -1.0)
+
+
+class TestReLU:
+    def test_forward_clips_negatives(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 2.0, 0.0]]))
+        assert np.allclose(out, [[0.0, 2.0, 0.0]])
+
+    def test_backward_masks_gradient(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert np.allclose(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2)))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        layer = Softmax()
+        out = layer.forward(np.random.default_rng(0).normal(size=(6, 4)))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        layer = Softmax()
+        out = layer.forward(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(out, [[0.5, 0.5]])
+
+    def test_backward_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        layer = Softmax()
+        x = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+
+        def loss():
+            return float((layer.forward(x) * target).sum())
+
+        layer.forward(x)
+        grad = layer.backward(target)
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(grad, numeric, atol=1e-5)
+
+
+class TestFlattenDropout:
+    def test_flatten_round_trip(self):
+        layer = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        x = np.ones((4, 4))
+        assert np.allclose(layer.forward(x), x)
+
+    def test_dropout_training_zeroes_some(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((20, 20)))
+        assert (out == 0).any()
+        assert not np.allclose(out, 0)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_dropout_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        x = np.ones((10, 10))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.allclose((out == 0), (grad == 0))
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self):
+        layer = BatchNorm1d(3)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=2.0, size=(64, 3))
+        out = layer.forward(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        layer = BatchNorm1d(2, momentum=0.5)
+        x = np.random.default_rng(1).normal(size=(32, 2))
+        layer.forward(x)
+        layer.eval()
+        out_eval = layer.forward(x[:4])
+        assert out_eval.shape == (4, 2)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(2).forward(np.ones((2, 2, 2)))
+
+    def test_backward_matches_numeric_gamma(self):
+        rng = np.random.default_rng(5)
+        layer = BatchNorm1d(3)
+        x = rng.normal(size=(8, 3))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2 * out)
+        numeric = numeric_gradient(loss, layer.gamma)
+        assert np.allclose(layer.grad_gamma, numeric, atol=1e-4)
+
+
+class TestConv2d:
+    def test_output_shape_with_padding(self):
+        layer = Conv2d(3, 4, kernel_size=3, padding=1, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((2, 3, 8, 8)))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_output_shape_with_stride(self):
+        layer = Conv2d(1, 2, kernel_size=3, stride=2, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((1, 1, 7, 7)))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_rejects_wrong_channels(self):
+        layer = Conv2d(3, 4, kernel_size=3)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((1, 2, 8, 8)))
+
+    def test_matches_manual_convolution(self):
+        layer = Conv2d(1, 1, kernel_size=2, rng=np.random.default_rng(0))
+        layer.weight[...] = np.array([[[[1.0, 0.0], [0.0, 1.0]]]])
+        layer.bias[...] = 0.0
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = layer.forward(x)
+        expected = np.array([[[[0 + 4, 1 + 5], [3 + 7, 4 + 8]]]], dtype=float)
+        assert np.allclose(out, expected)
+
+    def test_gradient_matches_numeric_weight(self):
+        rng = np.random.default_rng(6)
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2 * out)
+        numeric = numeric_gradient(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-3)
+
+    def test_gradient_matches_numeric_input(self):
+        rng = np.random.default_rng(7)
+        layer = Conv2d(1, 2, kernel_size=3, rng=rng)
+        x = rng.normal(size=(1, 1, 5, 5))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        out = layer.forward(x)
+        grad_input = layer.backward(2 * out)
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(grad_input, numeric, atol=1e-3)
+
+
+class TestMaxPool:
+    def test_output_values(self):
+        layer = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert np.allclose(layer.forward(x), [[[[4.0]]]])
+
+    def test_output_shape(self):
+        layer = MaxPool2d(2)
+        out = layer.forward(np.random.default_rng(0).normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 3, 4, 4)
+
+    def test_backward_routes_gradient_to_max(self):
+        layer = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[10.0]]]]))
+        expected = np.array([[[[0.0, 0.0], [0.0, 10.0]]]])
+        assert np.allclose(grad, expected)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(8)
+        layer = MaxPool2d(2)
+        x = rng.normal(size=(1, 2, 4, 4))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        out = layer.forward(x)
+        grad = layer.backward(2 * out)
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(grad, numeric, atol=1e-4)
+
+
+class TestSequential:
+    def test_parameter_round_trip(self):
+        net = Sequential([Dense(4, 8, rng=np.random.default_rng(0)), ReLU(), Dense(8, 2, rng=np.random.default_rng(1))])
+        params = [np.array(p, copy=True) for p in net.parameters()]
+        net.set_parameters([np.zeros_like(p) for p in params])
+        assert all(np.allclose(p, 0.0) for p in net.parameters())
+        net.set_parameters(params)
+        assert all(np.allclose(a, b) for a, b in zip(net.parameters(), params))
+
+    def test_set_parameters_wrong_count(self):
+        net = Sequential([Dense(2, 2)])
+        with pytest.raises(ValueError):
+            net.set_parameters([np.zeros((2, 2))])
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_train_eval_propagates(self):
+        drop = Dropout(0.5)
+        net = Sequential([Dense(2, 2), drop])
+        net.eval()
+        assert drop.training is False
+        net.train()
+        assert drop.training is True
+
+    def test_forward_backward_chain(self):
+        rng = np.random.default_rng(9)
+        net = Sequential([Dense(3, 5, rng=rng), ReLU(), Dense(5, 2, rng=rng)])
+        x = rng.normal(size=(4, 3))
+        out = net.forward(x)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert len(net.gradients()) == len(net.parameters()) == 4

@@ -1,0 +1,177 @@
+"""Tests for weight serialization and tensor utilities (with property tests)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ml.serialization import (
+    SerializationError,
+    weights_checksum,
+    weights_from_bytes,
+    weights_to_bytes,
+)
+from repro.ml.tensor_utils import (
+    add_weights,
+    average_weights,
+    clip_weights,
+    flatten_weights,
+    scale_weights,
+    subtract_weights,
+    total_parameter_count,
+    unflatten_weights,
+    weights_allclose,
+    weights_distance,
+    weights_norm,
+    zeros_like_weights,
+)
+
+
+def small_weight_lists():
+    """Hypothesis strategy producing small lists of float arrays."""
+    array = npst.arrays(
+        dtype=np.float64,
+        shape=npst.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    return st.lists(array, min_size=1, max_size=4)
+
+
+class TestSerialization:
+    @settings(max_examples=25, deadline=None)
+    @given(small_weight_lists())
+    def test_round_trip_preserves_values(self, weights):
+        restored = weights_from_bytes(weights_to_bytes(weights))
+        assert len(restored) == len(weights)
+        for a, b in zip(weights, restored):
+            assert a.shape == b.shape
+            assert np.allclose(a, b)
+
+    def test_empty_list_round_trip(self):
+        assert weights_from_bytes(weights_to_bytes([])) == []
+
+    def test_checksum_stable(self):
+        weights = [np.arange(6.0).reshape(2, 3)]
+        assert weights_checksum(weights) == weights_checksum([w.copy() for w in weights])
+
+    def test_checksum_changes_with_values(self):
+        a = [np.zeros((2, 2))]
+        b = [np.ones((2, 2))]
+        assert weights_checksum(a) != weights_checksum(b)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            weights_from_bytes(b"not a weight container")
+
+    def test_rejects_truncated_payload(self):
+        payload = weights_to_bytes([np.ones((4, 4))])
+        with pytest.raises(SerializationError):
+            weights_from_bytes(payload[:-10])
+
+    def test_rejects_trailing_bytes(self):
+        payload = weights_to_bytes([np.ones(3)])
+        with pytest.raises(SerializationError):
+            weights_from_bytes(payload + b"xx")
+
+    def test_int_arrays_supported(self):
+        weights = [np.arange(4, dtype=np.int64), np.arange(3, dtype=np.int32)]
+        restored = weights_from_bytes(weights_to_bytes(weights))
+        assert restored[0].dtype == np.int64
+        assert restored[1].dtype == np.int32
+
+    def test_unsupported_dtype_coerced(self):
+        weights = [np.ones(3, dtype=np.float16)]
+        restored = weights_from_bytes(weights_to_bytes(weights))
+        assert restored[0].dtype == np.float64
+
+
+class TestTensorUtils:
+    @settings(max_examples=25, deadline=None)
+    @given(small_weight_lists())
+    def test_flatten_unflatten_round_trip(self, weights):
+        flat = flatten_weights(weights)
+        restored = unflatten_weights(flat, weights)
+        assert weights_allclose(weights, restored)
+
+    def test_flatten_empty(self):
+        assert flatten_weights([]).size == 0
+
+    def test_unflatten_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            unflatten_weights(np.zeros(5), [np.zeros((2, 2))])
+
+    def test_add_subtract_inverse(self):
+        a = [np.array([1.0, 2.0]), np.array([[3.0]])]
+        b = [np.array([0.5, 0.5]), np.array([[1.0]])]
+        assert weights_allclose(subtract_weights(add_weights(a, b), b), a)
+
+    def test_scale(self):
+        a = [np.array([2.0, 4.0])]
+        assert np.allclose(scale_weights(a, 0.5)[0], [1.0, 2.0])
+
+    def test_average_uniform(self):
+        a = [np.array([0.0])]
+        b = [np.array([2.0])]
+        assert np.allclose(average_weights([a, b])[0], [1.0])
+
+    def test_average_weighted(self):
+        a = [np.array([0.0])]
+        b = [np.array([4.0])]
+        avg = average_weights([a, b], coefficients=[3, 1])
+        assert np.allclose(avg[0], [1.0])
+
+    def test_average_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_weights([])
+
+    def test_average_rejects_zero_coefficients(self):
+        with pytest.raises(ValueError):
+            average_weights([[np.zeros(1)]], coefficients=[0.0])
+
+    def test_average_rejects_mismatched_coefficients(self):
+        with pytest.raises(ValueError):
+            average_weights([[np.zeros(1)]], coefficients=[1.0, 2.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            add_weights([np.zeros(2)], [np.zeros(3)])
+
+    def test_norm_and_distance(self):
+        a = [np.array([3.0, 4.0])]
+        assert weights_norm(a) == pytest.approx(5.0)
+        assert weights_distance(a, zeros_like_weights(a)) == pytest.approx(5.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_weight_lists())
+    def test_distance_to_self_is_zero(self, weights):
+        assert weights_distance(weights, weights) == pytest.approx(0.0)
+
+    def test_clip_reduces_large_norm(self):
+        a = [np.array([30.0, 40.0])]
+        clipped = clip_weights(a, max_norm=5.0)
+        assert weights_norm(clipped) == pytest.approx(5.0)
+
+    def test_clip_leaves_small_norm(self):
+        a = [np.array([0.3, 0.4])]
+        clipped = clip_weights(a, max_norm=5.0)
+        assert weights_allclose(a, clipped)
+
+    def test_clip_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            clip_weights([np.ones(2)], 0.0)
+
+    def test_total_parameter_count(self):
+        assert total_parameter_count([np.zeros((2, 3)), np.zeros(5)]) == 11
+
+    def test_allclose_detects_shape_difference(self):
+        assert not weights_allclose([np.zeros(2)], [np.zeros(3)])
+        assert not weights_allclose([np.zeros(2)], [np.zeros(2), np.zeros(2)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_weight_lists(), st.floats(0.1, 10.0))
+    def test_norm_scales_linearly(self, weights, factor):
+        scaled = scale_weights(weights, factor)
+        assert weights_norm(scaled) == pytest.approx(factor * weights_norm(weights), rel=1e-6, abs=1e-9)

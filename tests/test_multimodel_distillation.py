@@ -1,0 +1,224 @@
+"""Tests for knowledge distillation and multi-model collaboration (§5 Q1 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multimodel import MultiModelCollaboration, MultiModelParticipant
+from repro.datasets.partition import DirichletPartitioner
+from repro.datasets.synthetic import make_classification_dataset
+from repro.ml.distillation import (
+    DistillationLoss,
+    distill,
+    ensemble_soft_labels,
+    softmax_with_temperature,
+)
+from repro.ml.models import MLP
+from repro.ml.optim import SGD
+
+
+@pytest.fixture(scope="module")
+def teacher_and_data():
+    """A well-trained teacher MLP on a separable tabular problem."""
+    dataset = make_classification_dataset(num_samples=300, num_features=12, num_classes=3, seed=9)
+    teacher = MLP(input_dim=12, hidden_dims=(32,), num_classes=3, seed=1)
+    teacher.fit(dataset.x, dataset.y, epochs=20, batch_size=32, optimizer=SGD(0.1))
+    return teacher, dataset
+
+
+class TestSoftmaxAndSoftLabels:
+    def test_temperature_one_matches_plain_softmax(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        probs = softmax_with_temperature(logits, 1.0)
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[0, 2] > probs[0, 0]
+
+    def test_higher_temperature_flattens_distribution(self):
+        logits = np.array([[1.0, 5.0]])
+        sharp = softmax_with_temperature(logits, 1.0)
+        soft = softmax_with_temperature(logits, 10.0)
+        assert soft[0].max() < sharp[0].max()
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            softmax_with_temperature(np.zeros((1, 2)), 0.0)
+
+    def test_ensemble_averages_teachers(self, teacher_and_data):
+        teacher, dataset = teacher_and_data
+        other = MLP(input_dim=12, hidden_dims=(8,), num_classes=3, seed=2)
+        labels = ensemble_soft_labels([teacher, other], dataset.x[:20], temperature=2.0)
+        assert labels.shape == (20, 3)
+        assert np.allclose(labels.sum(axis=1), 1.0)
+
+    def test_ensemble_requires_matching_classes(self, teacher_and_data):
+        teacher, dataset = teacher_and_data
+        mismatched = MLP(input_dim=12, hidden_dims=(8,), num_classes=4, seed=3)
+        with pytest.raises(ValueError):
+            ensemble_soft_labels([teacher, mismatched], dataset.x[:5])
+
+    def test_ensemble_requires_teachers(self, teacher_and_data):
+        _, dataset = teacher_and_data
+        with pytest.raises(ValueError):
+            ensemble_soft_labels([], dataset.x[:5])
+
+
+class TestDistillationLoss:
+    def test_alpha_zero_equals_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(8, 3))
+        targets = rng.integers(0, 3, size=8)
+        soft = softmax_with_temperature(rng.normal(size=(8, 3)), 2.0)
+        from repro.ml.losses import CrossEntropyLoss
+
+        kd_loss, kd_grad = DistillationLoss(alpha=0.0).forward(logits, targets, soft)
+        ce_loss, ce_grad = CrossEntropyLoss().forward(logits, targets)
+        assert kd_loss == pytest.approx(ce_loss)
+        assert np.allclose(kd_grad, ce_grad)
+
+    def test_matching_soft_targets_minimise_kl_term(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        matching_soft = softmax_with_temperature(logits, 2.0)
+        different_soft = softmax_with_temperature(rng.normal(size=(6, 4)), 2.0)
+        loss_fn = DistillationLoss(alpha=1.0, temperature=2.0)
+        matched, _ = loss_fn.forward(logits, targets, matching_soft)
+        mismatched, _ = loss_fn.forward(logits, targets, different_soft)
+        assert matched < mismatched
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DistillationLoss().forward(np.zeros((2, 3)), np.zeros(2, dtype=int), np.zeros((2, 4)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(alpha=1.5)
+        with pytest.raises(ValueError):
+            DistillationLoss(temperature=0.0)
+
+
+class TestDistill:
+    def test_student_learns_from_teacher(self, teacher_and_data):
+        teacher, dataset = teacher_and_data
+        # The student has a different architecture (smaller hidden layer).
+        student = MLP(input_dim=12, hidden_dims=(8,), num_classes=3, seed=4)
+        before = student.evaluate(dataset.x, dataset.y)[1]
+        distill(
+            student,
+            [teacher],
+            dataset.x,
+            dataset.y,
+            epochs=8,
+            batch_size=32,
+            alpha=0.5,
+            optimizer=SGD(0.1),
+            rng=np.random.default_rng(0),
+        )
+        after = student.evaluate(dataset.x, dataset.y)[1]
+        assert after > before
+        assert after > 0.7
+
+    def test_losses_decrease(self, teacher_and_data):
+        teacher, dataset = teacher_and_data
+        student = MLP(input_dim=12, hidden_dims=(16,), num_classes=3, seed=5)
+        losses = distill(student, [teacher], dataset.x, dataset.y, epochs=5, batch_size=32,
+                         optimizer=SGD(0.1), rng=np.random.default_rng(1))
+        assert losses[-1] < losses[0]
+
+    def test_input_validation(self, teacher_and_data):
+        teacher, dataset = teacher_and_data
+        student = MLP(input_dim=12, num_classes=3, seed=6)
+        with pytest.raises(ValueError):
+            distill(student, [teacher], dataset.x, dataset.y[:-1])
+        with pytest.raises(ValueError):
+            distill(student, [teacher], dataset.x, dataset.y, epochs=0)
+
+
+class TestMultiModelCollaboration:
+    def _build(self, collaborate_rounds=3, seed=0):
+        dataset = make_classification_dataset(num_samples=360, num_features=12, num_classes=3, seed=seed)
+        parts = DirichletPartitioner(3, alpha=0.4, seed=seed).partition(dataset)
+        architectures = [(32,), (16, 16), (8,)]
+        participants = [
+            MultiModelParticipant(
+                name=f"org{i + 1}",
+                model=MLP(input_dim=12, hidden_dims=arch, num_classes=3, seed=seed + i),
+                train_data=part,
+                learning_rate=0.1,
+                local_epochs=2,
+            )
+            for i, (arch, part) in enumerate(zip(architectures, parts))
+        ]
+        return MultiModelCollaboration(participants, eval_data=dataset, seed=seed)
+
+    def test_round_records_all_participants(self):
+        collaboration = self._build()
+        record = collaboration.run_round()
+        assert set(record.accuracies) == {"org1", "org2", "org3"}
+        assert all(0.0 <= acc <= 1.0 for acc in record.accuracies.values())
+
+    @staticmethod
+    def _data_poor_setup(seed: int):
+        """Two data-rich organisations plus one data-poor organisation.
+
+        The data-poor silo is where distillation-based collaboration pays off:
+        its own 12 samples are not enough, but its peers' models (different
+        architectures) transfer their knowledge through soft labels.
+        """
+        from repro.datasets.dataloader import train_test_split
+
+        dataset = make_classification_dataset(num_samples=400, num_features=12, num_classes=3, seed=seed)
+        train, test = train_test_split(dataset, test_fraction=0.25, seed=seed)
+        rich1 = train.subset(np.arange(0, 140))
+        rich2 = train.subset(np.arange(140, 280))
+        poor = train.subset(np.arange(280, 292))
+        participants = [
+            MultiModelParticipant("rich1", MLP(12, (32,), 3, seed=seed), rich1,
+                                  learning_rate=0.1, local_epochs=2, distill_alpha=0.7),
+            MultiModelParticipant("rich2", MLP(12, (16, 16), 3, seed=seed + 1), rich2,
+                                  learning_rate=0.1, local_epochs=2, distill_alpha=0.7),
+            MultiModelParticipant("poor", MLP(12, (8,), 3, seed=seed + 2), poor,
+                                  learning_rate=0.1, local_epochs=2, distill_alpha=0.7),
+        ]
+        return MultiModelCollaboration(participants, eval_data=test, seed=seed)
+
+    def test_data_poor_org_benefits_from_heterogeneous_collaboration(self):
+        collaborative = self._data_poor_setup(seed=1)
+        isolated = self._data_poor_setup(seed=1)
+        collaborative.run(3, collaborate=True)
+        isolated.run(3, collaborate=False)
+        assert collaborative.final_accuracies()["poor"] > isolated.final_accuracies()["poor"]
+
+    def test_heterogeneous_architectures_complete_collaboration(self):
+        collaborative = self._build(seed=2)
+        records = collaborative.run(2, collaborate=True)
+        assert len(records) == 2
+        assert all(len(r.accuracies) == 3 for r in records)
+
+    def test_requires_two_participants(self):
+        dataset = make_classification_dataset(num_samples=60, num_features=12, num_classes=3, seed=0)
+        participant = MultiModelParticipant(
+            name="solo", model=MLP(input_dim=12, num_classes=3, seed=0), train_data=dataset
+        )
+        with pytest.raises(ValueError):
+            MultiModelCollaboration([participant], eval_data=dataset)
+
+    def test_rejects_mismatched_class_counts(self):
+        dataset = make_classification_dataset(num_samples=120, num_features=12, num_classes=3, seed=0)
+        a = MultiModelParticipant("a", MLP(input_dim=12, num_classes=3, seed=0), dataset)
+        b = MultiModelParticipant("b", MLP(input_dim=12, num_classes=4, seed=1), dataset)
+        with pytest.raises(ValueError):
+            MultiModelCollaboration([a, b], eval_data=dataset)
+
+    def test_rejects_duplicate_names(self):
+        dataset = make_classification_dataset(num_samples=120, num_features=12, num_classes=3, seed=0)
+        a = MultiModelParticipant("dup", MLP(input_dim=12, num_classes=3, seed=0), dataset)
+        b = MultiModelParticipant("dup", MLP(input_dim=12, num_classes=3, seed=1), dataset)
+        with pytest.raises(ValueError):
+            MultiModelCollaboration([a, b], eval_data=dataset)
+
+    def test_final_accuracies_requires_a_round(self):
+        collaboration = self._build()
+        with pytest.raises(ValueError):
+            collaboration.final_accuracies()
