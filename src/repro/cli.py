@@ -7,7 +7,10 @@ without writing Python::
         --clusters 3 --clients 3 --partitioning dirichlet --alpha 0.5 \
         --policy top_k --policy-k 2 --json-out result.json
 
-    python -m repro.cli compare --workload cifar10 --rounds 6   # sync vs async vs baselines
+    python -m repro.cli run --mode semi --semi-quorum-k 2 --max-staleness 60 \
+        --workload cifar10 --rounds 6                            # semi-sync (quorum/staleness)
+
+    python -m repro.cli compare --workload cifar10 --rounds 6   # sync vs async vs semi vs baselines
     python -m repro.cli policies                                 # list available policies
 """
 
@@ -71,6 +74,8 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         scoring_algorithm=args.scoring,
         rounds=args.rounds,
         seed=args.seed,
+        semi_quorum_k=args.semi_quorum_k,
+        max_staleness=args.max_staleness,
     )
 
 
@@ -91,6 +96,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-classes", type=int, default=10, dest="num_classes")
     parser.add_argument("--learning-rate", type=float, default=0.05, dest="learning_rate")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--semi-quorum-k", type=int, default=None, dest="semi_quorum_k",
+        help="semi mode: clusters that must submit before a round closes (default: majority)",
+    )
+    parser.add_argument(
+        "--max-staleness", type=float, default=None, dest="max_staleness",
+        help="semi mode: simulated seconds before an open round closes without quorum",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,13 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one UnifyFL experiment")
     _add_common_arguments(run_parser)
-    run_parser.add_argument("--mode", choices=["sync", "async"], default="async")
+    run_parser.add_argument("--mode", choices=["sync", "async", "semi"], default="async")
     run_parser.add_argument("--json-out", default=None, help="write the full result document to this JSON file")
     run_parser.add_argument("--csv-out", default=None, help="append per-aggregator rows to this CSV file")
     run_parser.add_argument("--show-resources", action="store_true", help="print the Table-7-style resource report")
 
     compare_parser = subparsers.add_parser(
-        "compare", help="run Sync, Async and the baselines on the same data and compare"
+        "compare", help="run Sync, Async, Semi-sync and the baselines on the same data and compare"
     )
     _add_common_arguments(compare_parser)
 
@@ -136,11 +149,17 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     sync_result = ExperimentRunner(_build_config(args, "cli-sync", mode="sync")).run()
     async_result = ExperimentRunner(_build_config(args, "cli-async", mode="async")).run()
+    semi_result = ExperimentRunner(_build_config(args, "cli-semi", mode="semi")).run()
     baseline_runner = ExperimentRunner(_build_config(args, "cli-baseline", mode="sync"))
     centralized = baseline_runner.run_centralized_baseline(rounds=args.rounds)
     no_collab = baseline_runner.run_no_collab_baseline(rounds=args.rounds)
 
-    print(format_comparison([sync_result, async_result], labels=["Sync UnifyFL", "Async UnifyFL"]))
+    print(
+        format_comparison(
+            [sync_result, async_result, semi_result],
+            labels=["Sync UnifyFL", "Async UnifyFL", "Semi-sync UnifyFL"],
+        )
+    )
     print()
     print(f"{'Centralized multilevel (oracle)':<34}{centralized.global_accuracy * 100:>16.2f}{centralized.total_time:>14.0f}")
     isolated = max(c.accuracy for c in no_collab.clusters)

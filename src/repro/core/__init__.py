@@ -55,7 +55,12 @@ from repro.core.multimodel import (
     MultiModelParticipant,
     MultiModelRoundRecord,
 )
-from repro.core.orchestrator import AsyncOrchestrator, OrchestrationResult, SyncOrchestrator
+from repro.core.orchestrator import (
+    AsyncOrchestrator,
+    OrchestrationResult,
+    SemiSyncOrchestrator,
+    SyncOrchestrator,
+)
 from repro.core.policies import (
     AboveAverage,
     AboveMedian,
@@ -135,6 +140,7 @@ __all__ = [
     "MultiModelRoundRecord",
     "AsyncOrchestrator",
     "OrchestrationResult",
+    "SemiSyncOrchestrator",
     "SyncOrchestrator",
     "AboveAverage",
     "AboveMedian",

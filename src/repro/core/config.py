@@ -114,6 +114,25 @@ def tiny_imagenet_workload(
     )
 
 
+def majority_quorum(num_clusters: int) -> int:
+    """The default semi-sync quorum: a strict majority of the clusters."""
+    return num_clusters // 2 + 1
+
+
+def validate_semi_params(
+    quorum_k: Optional[int], max_staleness: Optional[float], num_clusters: int
+) -> None:
+    """Shared bounds check for the semi-sync knobs (single source of truth).
+
+    ``None`` values are skipped — config-level validation passes through
+    unresolved optionals, while the orchestrator validates resolved values.
+    """
+    if quorum_k is not None and not 1 <= quorum_k <= num_clusters:
+        raise ValueError("quorum_k must be between 1 and the number of clusters")
+    if max_staleness is not None and max_staleness <= 0:
+        raise ValueError("max_staleness must be positive")
+
+
 @dataclass
 class ClusterConfig:
     """Configuration of one participating FL cluster (aggregator + its clients)."""
@@ -156,10 +175,10 @@ class ExperimentConfig:
     name: str
     workload: WorkloadConfig
     clusters: List[ClusterConfig]
-    mode: str = "sync"  # "sync" or "async"
+    mode: str = "sync"  # "sync", "async" or "semi"
     partitioning: str = "dirichlet"  # "iid", "dirichlet" or "shard"
     dirichlet_alpha: float = 0.5
-    #: "accuracy" / "loss" work in both modes; "multikrum" / "cosine" are
+    #: "accuracy" / "loss" work in every mode; "multikrum" / "cosine" are
     #: similarity-based and therefore Sync-only (they need the whole round).
     scoring_algorithm: str = "accuracy"
     rounds: int = 10
@@ -167,20 +186,26 @@ class ExperimentConfig:
     #: fixed per-phase duration in simulated seconds for Sync mode; ``None``
     #: means the orchestrator waits for the slowest aggregator (adaptive barrier).
     phase_duration: Optional[float] = None
+    #: semi mode: how many clusters must submit before the round closes;
+    #: ``None`` means a majority (N // 2 + 1).
+    semi_quorum_k: Optional[int] = None
+    #: semi mode: simulated seconds after which an open round closes even
+    #: without a quorum; ``None`` provisions one expected sync training window.
+    max_staleness: Optional[float] = None
     block_period: float = 2.0
     #: sample resource usage for the Table 7 overhead report.
     monitor_resources: bool = True
 
     def __post_init__(self) -> None:
-        if self.mode not in ("sync", "async"):
-            raise ValueError("mode must be 'sync' or 'async'")
+        if self.mode not in ("sync", "async", "semi"):
+            raise ValueError("mode must be 'sync', 'async' or 'semi'")
         if self.partitioning not in ("iid", "dirichlet", "shard"):
             raise ValueError("partitioning must be 'iid', 'dirichlet' or 'shard'")
         if self.scoring_algorithm not in ("accuracy", "loss", "multikrum", "cosine"):
             raise ValueError(
                 "scoring_algorithm must be 'accuracy', 'loss', 'multikrum' or 'cosine'"
             )
-        if self.mode == "async" and self.scoring_algorithm in ("multikrum", "cosine"):
+        if self.mode in ("async", "semi") and self.scoring_algorithm in ("multikrum", "cosine"):
             raise ValueError(
                 "similarity-based scoring needs all models of a round at once and is only "
                 "supported in sync mode"
@@ -191,6 +216,7 @@ class ExperimentConfig:
             raise ValueError("at least one cluster is required")
         if len({c.name for c in self.clusters}) != len(self.clusters):
             raise ValueError("cluster names must be unique")
+        validate_semi_params(self.semi_quorum_k, self.max_staleness, len(self.clusters))
 
     @property
     def num_clusters(self) -> int:

@@ -15,6 +15,12 @@ In **sync** mode the contract enforces phase windows: models may only be
 submitted during the training phase and scores only during the scoring phase
 (anything later is disregarded, as in Section 3.2).  In **async** mode
 scorers are assigned immediately when a model CID is submitted (Section 3.3).
+In **semi** mode (bounded-staleness buffered-async) scorers are likewise
+assigned at submission, but the contract additionally *buffers* the round's
+submissions: ``closeSemiRound`` advances the round counter once a quorum of
+clusters has contributed or the driver decides the staleness bound expired,
+and ``getSemiRoundStatus`` exposes the buffer so the orchestrator can make
+that call.
 
 Submission and score records carry the submitting actor's simulated timestamp
 so asynchronous aggregators only observe state that existed at their local
@@ -28,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.chain.contract import Contract, contract_method, view_method
+from repro.core.config import majority_quorum
 
 
 @dataclass
@@ -71,20 +78,38 @@ class UnifyFLContract(Contract):
     PHASE_IDLE = "idle"
     PHASE_TRAINING = "training"
     PHASE_SCORING = "scoring"
+    #: the (only) phase of the semi-synchronous cycle: submissions buffer up
+    #: until the round is closed by quorum or staleness expiry.
+    PHASE_BUFFERING = "buffering"
 
-    def __init__(self, mode: str = "sync", scorer_seed: int = 0):
+    MODES = ("sync", "async", "semi")
+
+    def __init__(self, mode: str = "sync", scorer_seed: int = 0, semi_quorum_k: int = 0):
         super().__init__()
-        if mode not in ("sync", "async"):
-            raise ValueError("mode must be 'sync' or 'async'")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}")
+        if semi_quorum_k < 0:
+            raise ValueError("semi_quorum_k must be non-negative (0 = majority)")
         self.mode = mode
         self.scorer_seed = scorer_seed
         self.aggregators: List[str] = []
-        self.current_round = 0
-        self.phase = self.PHASE_IDLE
+        self.current_round = 1 if mode == "semi" else 0
+        self.phase = self.PHASE_BUFFERING if mode == "semi" else self.PHASE_IDLE
         self.submissions: Dict[str, ModelSubmission] = {}
         self.round_submissions: Dict[int, List[str]] = {}
         #: scorer address -> list of CIDs awaiting that scorer's score.
         self.pending_assignments: Dict[str, List[str]] = {}
+        #: semi mode: quorum size (0 = majority of registered aggregators),
+        #: the open round's buffered CIDs and its opening timestamp.
+        self.semi_quorum_k = semi_quorum_k
+        self.semi_buffer: List[str] = []
+        #: distinct submitters of the open round's buffer, kept incrementally
+        #: so quorum checks stay O(1) per submission.
+        self.semi_submitters: set = set()
+        self.semi_opened_at = 0.0
+        #: ensures SemiQuorumReached fires at most once per open round, even
+        #: if the effective quorum drifts (e.g. a late registration).
+        self._semi_quorum_fired = False
 
     # ------------------------------------------------------------------ setup
     @contract_method
@@ -137,8 +162,24 @@ class UnifyFLContract(Contract):
         self.round_submissions.setdefault(round_number, []).append(cid)
         self.emit("ModelSubmitted", cid=cid, submitter=sender, round=round_number)
         self.ctx.charge(20_000)
-        if self.mode == "async":
+        if self.mode in ("async", "semi"):
             self._assign_scorers(submission)
+        if self.mode == "semi":
+            self.semi_buffer.append(cid)
+            self.semi_submitters.add(sender)
+            # Quorum counts distinct submitting clusters, not raw submissions
+            # (one cluster resubmitting must not close a round by itself), and
+            # the event fires at most once per open round.
+            quorum = self._effective_quorum()
+            if not self._semi_quorum_fired and len(self.semi_submitters) >= quorum:
+                self._semi_quorum_fired = True
+                self.emit(
+                    "SemiQuorumReached",
+                    round=self.current_round,
+                    buffered=len(self.semi_buffer),
+                    submitters=len(self.semi_submitters),
+                    quorum=quorum,
+                )
         return submission.as_record()
 
     # ---------------------------------------------------------------- scoring
@@ -190,7 +231,73 @@ class UnifyFLContract(Contract):
         self.ctx.charge(5_000)
         return self.current_round
 
+    # ------------------------------------------------------- semi-sync rounds
+    @contract_method
+    def configureSemiRound(self, quorum_k: int = 0) -> int:
+        """Set the quorum size for semi mode (0 = majority of aggregators).
+
+        Only allowed between rounds (empty buffer): changing the quorum while
+        submissions are buffered would make the SemiQuorumReached threshold
+        crossing ambiguous (fire twice, or never).
+        """
+        self.require(self.mode == "semi", "configureSemiRound is only used in semi mode")
+        self.require(quorum_k >= 0, "quorum_k must be non-negative")
+        self.require(
+            not self.aggregators or quorum_k <= len(self.aggregators),
+            "quorum_k cannot exceed the number of registered aggregators",
+        )
+        self.require(
+            not self.semi_buffer,
+            "quorum can only be reconfigured between rounds (buffer must be empty)",
+        )
+        self.semi_quorum_k = int(quorum_k)
+        self.emit("SemiRoundConfigured", quorum_k=self.semi_quorum_k)
+        self.ctx.charge(5_000)
+        return self._effective_quorum()
+
+    @contract_method
+    def closeSemiRound(self, timestamp: float = 0.0) -> Dict[str, Any]:
+        """Advance the semi round: clear the buffer, bump the round counter.
+
+        The driver calls this when the quorum is reached or when it judges the
+        staleness bound expired; the contract only checks that there is an open
+        round with at least one buffered submission to close.
+        """
+        self.require(self.mode == "semi", "closeSemiRound is only used in semi mode")
+        self.require(bool(self.semi_buffer), "cannot close a semi round with no submissions")
+        closed = {
+            "round": self.current_round,
+            "buffered": len(self.semi_buffer),
+            "submitters": len(self.semi_submitters),
+            "opened_at": self.semi_opened_at,
+            "closed_at": float(timestamp),
+            "duration": float(timestamp) - self.semi_opened_at,
+        }
+        self.current_round += 1
+        self.round_submissions.setdefault(self.current_round, [])
+        self.semi_buffer = []
+        self.semi_submitters = set()
+        self.semi_opened_at = float(timestamp)
+        self._semi_quorum_fired = False
+        self.emit("SemiRoundClosed", **closed)
+        self.ctx.charge(10_000)
+        return closed
+
     # ------------------------------------------------------------------ views
+    @view_method
+    def getSemiRoundStatus(self) -> Dict[str, Any]:
+        """Open-round state in semi mode: buffer fill vs quorum, opening time."""
+        self.require(self.mode == "semi", "getSemiRoundStatus is only used in semi mode")
+        quorum = self._effective_quorum()
+        return {
+            "round": self.current_round,
+            "buffered": len(self.semi_buffer),
+            "submitters": len(self.semi_submitters),
+            "quorum_k": quorum,
+            "opened_at": self.semi_opened_at,
+            "quorum_reached": len(self.semi_submitters) >= quorum,
+        }
+
     @view_method
     def getAggregators(self) -> List[str]:
         """Registered aggregator addresses, in registration order."""
@@ -254,6 +361,18 @@ class UnifyFLContract(Contract):
         return len(self.round_submissions.get(round_number, []))
 
     # --------------------------------------------------------------- internals
+    def _effective_quorum(self) -> int:
+        """The configured semi quorum, or a majority when left at 0.
+
+        A constructor-supplied quorum above the registered aggregator count is
+        clamped to "all registered" (registration happens after deployment, so
+        the constructor cannot validate against it; ``configureSemiRound``
+        rejects such values once aggregators exist).
+        """
+        if self.semi_quorum_k > 0:
+            return min(self.semi_quorum_k, max(len(self.aggregators), 1))
+        return majority_quorum(len(self.aggregators))
+
     def _assign_scorers(self, submission: ModelSubmission) -> None:
         """Deterministically sample a majority subset of scorers for a model.
 
@@ -262,7 +381,7 @@ class UnifyFLContract(Contract):
         submitter itself is excluded when enough other aggregators exist,
         which is the bias-removal rationale of Section 3 step (2).
         """
-        majority = len(self.aggregators) // 2 + 1
+        majority = majority_quorum(len(self.aggregators))
         candidates = [a for a in self.aggregators if a != submission.submitter]
         if len(candidates) < majority:
             candidates = list(self.aggregators)

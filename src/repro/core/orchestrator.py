@@ -1,18 +1,27 @@
-"""Sync and Async orchestration of a UnifyFL federation (Sections 3.2 / 3.3).
+"""Orchestration of a UnifyFL federation (Sections 3.2 / 3.3).
 
 The orchestrator in UnifyFL is logically the smart contract; these classes
 drive the protocol steps against the contract and manage the simulated time
-of every cluster:
+of every cluster.  Since the discrete-event refactor they are thin facades:
+each one owns a :class:`~repro.sched.kernel.SimulationKernel` and installs a
+*round policy* (:mod:`repro.sched.policies`) that expresses its mode as an
+event stream:
 
 * :class:`SyncOrchestrator` — all clusters move through the training and
   scoring phases together.  Each phase has a fixed duration (provisioned from
   the timing model, or supplied explicitly); clusters that finish early idle
   until the phase window closes, and a cluster whose work exceeds the window
   *straggles*: its model is only submitted in the next round.
-* :class:`AsyncOrchestrator` — clusters run independently.  The event loop
-  always advances the cluster with the smallest simulated clock; when a model
-  CID is submitted the contract immediately assigns scorers, and scorers
-  handle their queue the next time they are idle.
+* :class:`AsyncOrchestrator` — clusters run independently.  Each cluster is
+  an event stream keyed by its simulated clock; the heap always dispatches
+  the earliest one (O(log n), replacing the old per-step O(n) scan).  When a
+  model CID is submitted the contract immediately assigns scorers, and
+  scorers handle their queue the next time they are idle.
+* :class:`SemiSyncOrchestrator` — bounded-staleness buffered-async
+  (FedBuff-style): clusters free-run like Async, but a logical round only
+  closes once ``quorum_k`` clusters have submitted or ``max_staleness``
+  simulated seconds elapse, and a cluster that already fed the open round
+  waits for the close before training again.
 """
 
 from __future__ import annotations
@@ -20,12 +29,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.chain.account import Account
 from repro.chain.blockchain import Blockchain
 from repro.core.aggregator import AggregatorRoundRecord, UnifyFLAggregator
-from repro.core.timing import ClusterTimingModel, RoundTiming
+from repro.core.timing import ClusterTimingModel
+from repro.sched.kernel import SimulationKernel
+from repro.core.config import majority_quorum, validate_semi_params
+from repro.sched.policies import (
+    AsyncRoundPolicy,
+    OrchestrationContext,
+    RoundPolicy,
+    SemiSyncRoundPolicy,
+    SyncRoundPolicy,
+)
 
 
 @dataclass
@@ -38,14 +54,16 @@ class OrchestrationResult:
     histories: Dict[str, List[AggregatorRoundRecord]] = field(default_factory=dict)
     #: per-aggregator total simulated time.
     total_times: Dict[str, float] = field(default_factory=dict)
-    #: per-aggregator cumulative idle (barrier) time — only meaningful in sync mode.
+    #: per-aggregator cumulative idle (barrier / quorum-wait) time — zero in async mode.
     idle_times: Dict[str, float] = field(default_factory=dict)
     #: count of straggler incidents per aggregator.
     straggler_counts: Dict[str, int] = field(default_factory=dict)
+    #: policy-specific annotations (semi-sync quorum/staleness closures, ...).
+    extras: Dict[str, object] = field(default_factory=dict)
 
 
 class _BaseOrchestrator:
-    """Shared plumbing between the two orchestration modes."""
+    """Shared plumbing: validation, registration, kernel driving, results."""
 
     mode = "base"
 
@@ -67,6 +85,7 @@ class _BaseOrchestrator:
         self.timing = timing_model
         self._idle_totals: Dict[str, float] = {a.name: 0.0 for a in aggregators}
         self._straggles: Dict[str, int] = {a.name: 0 for a in aggregators}
+        self.kernel: Optional[SimulationKernel] = None
 
     def register_all(self) -> None:
         """Register every aggregator with the contract (idempotent per run)."""
@@ -76,7 +95,33 @@ class _BaseOrchestrator:
                 aggregator.register(mine=False)
         self.chain.mine_until_empty()
 
-    def _result(self, rounds: int) -> OrchestrationResult:
+    def _context(self, num_rounds: int) -> OrchestrationContext:
+        return OrchestrationContext(
+            chain=self.chain,
+            driver=self.driver,
+            aggregators=self.aggregators,
+            timing=self.timing,
+            num_rounds=num_rounds,
+            idle_totals=self._idle_totals,
+            straggles=self._straggles,
+        )
+
+    def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
+        raise NotImplementedError
+
+    def run(self, num_rounds: int) -> OrchestrationResult:
+        """Drive the federation until every cluster completed ``num_rounds``."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        self.register_all()
+        self.kernel = SimulationKernel()
+        policy = self._build_policy(self._context(num_rounds))
+        policy.install(self.kernel)
+        self.kernel.run()
+        policy.finalize()
+        return self._result(num_rounds, policy)
+
+    def _result(self, rounds: int, policy: Optional[RoundPolicy] = None) -> OrchestrationResult:
         return OrchestrationResult(
             mode=self.mode,
             rounds_completed=rounds,
@@ -84,10 +129,8 @@ class _BaseOrchestrator:
             total_times={a.name: a.total_time() for a in self.aggregators},
             idle_times=dict(self._idle_totals),
             straggler_counts=dict(self._straggles),
+            extras=policy.extras() if policy is not None else {},
         )
-
-    def run(self, num_rounds: int) -> OrchestrationResult:
-        raise NotImplementedError
 
 
 class SyncOrchestrator(_BaseOrchestrator):
@@ -107,107 +150,23 @@ class SyncOrchestrator(_BaseOrchestrator):
     ):
         super().__init__(chain, driver_account, aggregators, timing_model)
         clusters = [a.config for a in aggregators]
-        self.training_window = training_window or timing_model.expected_training_window(clusters)
-        self.scoring_window = scoring_window or timing_model.expected_scoring_window(
-            clusters, algorithm=scoring_algorithm
-        )
-        #: clusters that missed the submission window and owe a late submission.
-        self._pending_late: Dict[str, bool] = {a.name: False for a in aggregators}
-
-    def run(self, num_rounds: int) -> OrchestrationResult:
-        """Drive ``num_rounds`` synchronous rounds."""
-        if num_rounds <= 0:
-            raise ValueError("num_rounds must be positive")
-        self.register_all()
-        for round_number in range(1, num_rounds + 1):
-            self._run_round(round_number)
-        return self._result(num_rounds)
-
-    def _run_round(self, round_number: int) -> None:
-        # All clusters enter the round at the same simulated instant.
-        barrier = max(a.clock.now() for a in self.aggregators)
-        for aggregator in self.aggregators:
-            waited = aggregator.clock.advance_to(barrier)
-            self._idle_totals[aggregator.name] += waited
-
-        # --- training phase -------------------------------------------------
-        self.chain.send(self.driver, "unifyfl", "startTraining")
-        self.chain.mine_until_empty()
-        phase_start = barrier
-        round_timings: Dict[str, RoundTiming] = {}
-        straggled: Dict[str, bool] = {}
-        offline: Dict[str, bool] = {}
-        for aggregator in self.aggregators:
-            timing = RoundTiming()
-            # Fault injection: an unavailable organisation sits the round out.
-            if not aggregator.is_available():
-                offline[aggregator.name] = True
-                straggled[aggregator.name] = False
-                round_timings[aggregator.name] = timing
-                continue
-            offline[aggregator.name] = False
-            # A cluster that straggled last round submits its stale model first.
-            if self._pending_late[aggregator.name]:
-                cid, late_timing = aggregator.submit_local_model()
-                timing.store_time += late_timing.store_time
-                timing.chain_time += late_timing.chain_time
-                self._pending_late[aggregator.name] = False
-            pull_timing = aggregator.build_global_model()
-            train_timing = aggregator.local_training_round()
-            timing.pull_time += pull_timing.pull_time
-            timing.aggregation_time += pull_timing.aggregation_time + train_timing.aggregation_time
-            timing.client_training_time += train_timing.client_training_time
-            elapsed = aggregator.clock.now() - phase_start
-            submit_cost = self.timing.transfer_time(aggregator.config.aggregator_profile, 1) + \
-                self.timing.chain_interaction_time(1)
-            if elapsed + submit_cost <= self.training_window:
-                _, submit_timing = aggregator.submit_local_model()
-                timing.store_time += submit_timing.store_time
-                timing.chain_time += submit_timing.chain_time
-                straggled[aggregator.name] = False
-            else:
-                # Missed the submission window: submit next round instead.
-                straggled[aggregator.name] = True
-                self._pending_late[aggregator.name] = True
-                self._straggles[aggregator.name] += 1
-            round_timings[aggregator.name] = timing
-
-        # Close the training window: everyone waits until it elapses.
-        window_end = phase_start + self.training_window
-        for aggregator in self.aggregators:
-            waited = aggregator.clock.advance_to(window_end)
-            self._idle_totals[aggregator.name] += waited
-            round_timings[aggregator.name].idle_time += waited
-
-        # --- scoring phase ----------------------------------------------------
-        self.chain.send(self.driver, "unifyfl", "startScoring")
-        self.chain.mine_until_empty()
-        scoring_start = window_end
-        for aggregator in self.aggregators:
-            if offline.get(aggregator.name, False):
-                continue
-            score_timing = aggregator.score_assigned()
-            timing = round_timings[aggregator.name]
-            timing.scoring_time += score_timing.scoring_time
-            timing.pull_time += score_timing.pull_time
-            timing.chain_time += score_timing.chain_time
-
-        scoring_end = scoring_start + self.scoring_window
-        for aggregator in self.aggregators:
-            waited = aggregator.clock.advance_to(scoring_end)
-            self._idle_totals[aggregator.name] += waited
-            round_timings[aggregator.name].idle_time += waited
-
-        self.chain.send(self.driver, "unifyfl", "endRound")
-        self.chain.mine_until_empty()
-
-        for aggregator in self.aggregators:
-            aggregator.record_round(
-                round_number,
-                round_timings[aggregator.name],
-                straggled=straggled.get(aggregator.name, False),
-                offline=offline.get(aggregator.name, False),
+        # ``is not None`` rather than truthiness: an explicit window of 0.0 is
+        # a (degenerate but meaningful) operator choice, not "use the default".
+        if training_window is not None:
+            self.training_window = training_window
+        else:
+            self.training_window = timing_model.expected_training_window(clusters)
+        if scoring_window is not None:
+            self.scoring_window = scoring_window
+        else:
+            self.scoring_window = timing_model.expected_scoring_window(
+                clusters, algorithm=scoring_algorithm
             )
+
+    def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
+        return SyncRoundPolicy(
+            ctx, training_window=self.training_window, scoring_window=self.scoring_window
+        )
 
 
 class AsyncOrchestrator(_BaseOrchestrator):
@@ -215,46 +174,38 @@ class AsyncOrchestrator(_BaseOrchestrator):
 
     mode = "async"
 
-    def run(self, num_rounds: int) -> OrchestrationResult:
-        """Drive the federation until every cluster completed ``num_rounds`` rounds."""
-        if num_rounds <= 0:
-            raise ValueError("num_rounds must be positive")
-        self.register_all()
-        rounds_done = {a.name: 0 for a in self.aggregators}
-        while True:
-            runnable = [a for a in self.aggregators if rounds_done[a.name] < num_rounds]
-            if not runnable:
-                break
-            # The cluster with the smallest simulated clock acts next.
-            aggregator = min(runnable, key=lambda a: (a.clock.now(), a.name))
-            self._run_cluster_round(aggregator, rounds_done[aggregator.name] + 1)
-            rounds_done[aggregator.name] += 1
-        # Drain any scoring work still queued so final score lists are complete.
-        for aggregator in sorted(self.aggregators, key=lambda a: a.clock.now()):
-            aggregator.score_assigned(before_time=aggregator.clock.now())
-        return self._result(num_rounds)
+    def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
+        return AsyncRoundPolicy(ctx)
 
-    def _run_cluster_round(self, aggregator: UnifyFLAggregator, round_number: int) -> None:
-        now = aggregator.clock.now()
-        # Fault injection: a down organisation spends the round offline and
-        # contributes nothing; the rest of the federation is unaffected.
-        if not aggregator.is_available():
-            downtime = self.timing.client_training_time(aggregator.config, jitter=False)
-            aggregator.clock.advance(downtime)
-            aggregator.record_round(round_number, RoundTiming(idle_time=downtime), offline=True)
-            return
-        # Idle aggregators first serve the scoring requests assigned to them.
-        score_timing = aggregator.score_assigned(before_time=now)
-        pull_timing = aggregator.build_global_model(before_time=aggregator.clock.now())
-        train_timing = aggregator.local_training_round()
-        _, submit_timing = aggregator.submit_local_model()
 
-        timing = RoundTiming(
-            pull_time=pull_timing.pull_time + score_timing.pull_time,
-            client_training_time=train_timing.client_training_time,
-            aggregation_time=pull_timing.aggregation_time + train_timing.aggregation_time,
-            store_time=submit_timing.store_time,
-            chain_time=submit_timing.chain_time + score_timing.chain_time,
-            scoring_time=score_timing.scoring_time,
+class SemiSyncOrchestrator(_BaseOrchestrator):
+    """Quorum/staleness-bounded buffered-async orchestration (FedBuff-style)."""
+
+    mode = "semi"
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        driver_account: Account,
+        aggregators: Sequence[UnifyFLAggregator],
+        timing_model: ClusterTimingModel,
+        quorum_k: Optional[int] = None,
+        max_staleness: Optional[float] = None,
+    ):
+        super().__init__(chain, driver_account, aggregators, timing_model)
+        clusters = [a.config for a in aggregators]
+        # Default quorum: a majority of clusters, mirroring the scorer-majority
+        # rule of the contract.  Default staleness bound: one provisioned sync
+        # training window — the round never lags a full lock-step phase behind.
+        self.quorum_k = quorum_k if quorum_k is not None else majority_quorum(len(clusters))
+        if max_staleness is not None:
+            self.max_staleness = max_staleness
+        else:
+            self.max_staleness = timing_model.expected_training_window(clusters)
+        # Fail fast at construction; the policy re-runs the same shared check.
+        validate_semi_params(self.quorum_k, self.max_staleness, len(clusters))
+
+    def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
+        return SemiSyncRoundPolicy(
+            ctx, quorum_k=self.quorum_k, max_staleness=self.max_staleness
         )
-        aggregator.record_round(round_number, timing, straggled=False)

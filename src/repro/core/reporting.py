@@ -21,6 +21,15 @@ _SCHEMA_VERSION = 1
 PathLike = Union[str, Path]
 
 
+def _jsonable(value):
+    """Recursively coerce policy extras (tuples, nested dicts) to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
 def result_to_dict(result: ExperimentResult) -> Dict:
     """Convert an experiment result into a JSON-serialisable dictionary."""
     return {
@@ -32,6 +41,7 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         "rounds": result.rounds,
         "chain_metrics": dict(result.chain_metrics),
         "storage_metrics": dict(result.storage_metrics),
+        "orchestration_extras": _jsonable(result.orchestration_extras),
         "resource_reports": {
             process: report.as_dict() for process, report in result.resource_reports.items()
         },

@@ -52,6 +52,9 @@ class ExperimentResult:
     chain_metrics: Dict[str, float] = field(default_factory=dict)
     storage_metrics: Dict[str, float] = field(default_factory=dict)
     resource_reports: Dict[str, ResourceReport] = field(default_factory=dict)
+    #: mode-specific annotations from the round policy (e.g. semi-sync
+    #: quorum/staleness closure statistics).
+    orchestration_extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def mean_global_accuracy(self) -> float:

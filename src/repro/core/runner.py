@@ -35,7 +35,12 @@ from repro.core.baselines import (
 )
 from repro.core.config import ClusterConfig, ExperimentConfig, WorkloadConfig
 from repro.core.contract import UnifyFLContract
-from repro.core.orchestrator import AsyncOrchestrator, OrchestrationResult, SyncOrchestrator
+from repro.core.orchestrator import (
+    AsyncOrchestrator,
+    OrchestrationResult,
+    SemiSyncOrchestrator,
+    SyncOrchestrator,
+)
 from repro.core.results import AggregatorResult, ExperimentResult
 from repro.core.scorer import build_scorer
 from repro.core.timing import ClusterTimingModel
@@ -220,23 +225,31 @@ class ExperimentRunner:
         assert self.chain is not None and self._driver_account is not None
         rounds = rounds or self.config.rounds
 
-        if self.config.mode == "sync":
-            orchestrator = SyncOrchestrator(
-                self.chain,
-                self._driver_account,
-                self.aggregators,
-                self.timing_model,
-                training_window=self.config.phase_duration,
-                scoring_window=None if self.config.phase_duration is None else self.config.phase_duration,
-                scoring_algorithm=self.config.scoring_algorithm,
-            )
-        else:
-            orchestrator = AsyncOrchestrator(
-                self.chain, self._driver_account, self.aggregators, self.timing_model
-            )
-        orchestration = orchestrator.run(rounds)
+        orchestration = self._build_orchestrator().run(rounds)
         self._record_daemon_overhead(rounds)
         return self._collect_result(orchestration, rounds)
+
+    def _build_orchestrator(self):
+        """Dispatch the configured mode to its orchestrator (round policy)."""
+        assert self.chain is not None and self._driver_account is not None
+        common = (self.chain, self._driver_account, self.aggregators, self.timing_model)
+        mode = self.config.mode
+        if mode == "sync":
+            return SyncOrchestrator(
+                *common,
+                training_window=self.config.phase_duration,
+                scoring_window=self.config.phase_duration,
+                scoring_algorithm=self.config.scoring_algorithm,
+            )
+        if mode == "async":
+            return AsyncOrchestrator(*common)
+        if mode == "semi":
+            return SemiSyncOrchestrator(
+                *common,
+                quorum_k=self.config.semi_quorum_k,
+                max_staleness=self.config.max_staleness,
+            )
+        raise ValueError(f"unknown orchestration mode '{mode}'")
 
     def _record_daemon_overhead(self, rounds: int) -> None:
         if self.monitor is None:
@@ -282,6 +295,7 @@ class ExperimentRunner:
             chain_metrics=self.chain.metrics.as_dict(),
             storage_metrics=storage_metrics,
             resource_reports=resource_reports,
+            orchestration_extras=dict(orchestration.extras),
         )
 
     def _policy_label(self, cluster: ClusterConfig) -> str:

@@ -1,0 +1,34 @@
+"""Discrete-event scheduling engine for federation orchestration.
+
+This package turns the orchestration layer into a classic discrete-event
+simulation: a :class:`~repro.sched.kernel.SimulationKernel` owns a global
+simulated clock and a heap-backed event queue
+(:class:`~repro.simnet.events.EventQueue`), and *round policies* decide what
+happens when — lock-step phases (sync), free-running clusters (async), or
+quorum/staleness-bounded rounds (semi-sync).
+
+* :mod:`repro.sched.kernel` — the engine: event scheduling, deterministic
+  ordering, O(log n) dispatch.
+* :mod:`repro.sched.policies` — the three built-in round policies plus the
+  :class:`~repro.sched.policies.RoundPolicy` base class for writing new ones.
+
+See ``docs/scheduling.md`` for the design and a guide to custom policies.
+"""
+
+from repro.sched.kernel import SimulationKernel
+from repro.sched.policies import (
+    AsyncRoundPolicy,
+    OrchestrationContext,
+    RoundPolicy,
+    SemiSyncRoundPolicy,
+    SyncRoundPolicy,
+)
+
+__all__ = [
+    "SimulationKernel",
+    "AsyncRoundPolicy",
+    "OrchestrationContext",
+    "RoundPolicy",
+    "SemiSyncRoundPolicy",
+    "SyncRoundPolicy",
+]

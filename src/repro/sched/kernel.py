@@ -1,0 +1,98 @@
+"""The simulation kernel: a global clock driven by a heap of events.
+
+The kernel is deliberately tiny — it knows nothing about federated learning.
+It pops events in deterministic ``(time, priority, key, seq)`` order, advances
+its :class:`~repro.simnet.clock.SimClock` to each event's timestamp, and runs
+the event's action.  Actions may schedule further events (never in the past).
+Everything domain-specific lives in the round policies layered on top
+(:mod:`repro.sched.policies`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simnet.clock import SimClock
+from repro.simnet.events import Event, EventQueue
+
+
+class SimulationKernel:
+    """Discrete-event engine owning the global simulated clock.
+
+    Per-actor clocks (each aggregator owns a :class:`SimClock`) keep tracking
+    local activity exactly as before; the kernel's clock is the *global*
+    frontier — the timestamp of the event currently being dispatched.  The two
+    views agree because policies only schedule an actor's next event at that
+    actor's local time.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self.queue = EventQueue()
+        self.events_processed = 0
+        self._stopped = False
+
+    # --------------------------------------------------------------- scheduling
+    def now(self) -> float:
+        """Current global simulated time."""
+        return self.clock.now()
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        key: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated ``time`` (clamped to now)."""
+        return self.queue.push(max(time, self.clock.now()), action, priority=priority, key=key)
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        key: str = "",
+    ) -> Event:
+        """Schedule ``action`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self.queue.push(self.clock.now() + delay, action, priority=priority, key=key)
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event; pending events stay queued."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ driving
+    def step(self) -> bool:
+        """Dispatch the single earliest event; return False when none remain."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self.events_processed += 1
+        event.action()
+        return True
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Dispatch events until the queue drains (or ``until`` / :meth:`stop`).
+
+        Returns the number of events processed by this call.
+        """
+        self._stopped = False
+        processed = 0
+        while not self._stopped:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            processed += 1
+        return processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SimulationKernel(t={self.clock.now():.2f}s, "
+            f"pending={len(self.queue)}, processed={self.events_processed})"
+        )

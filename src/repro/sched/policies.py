@@ -1,0 +1,494 @@
+"""Round policies: the pluggable "what happens when" of orchestration.
+
+A :class:`RoundPolicy` owns the domain logic of one orchestration mode and
+expresses it as events on a :class:`~repro.sched.kernel.SimulationKernel`:
+
+* :class:`SyncRoundPolicy` — lock-step rounds with fixed training/scoring
+  windows (the paper's Sync mode, Section 3.2).  Each round is three events:
+  round start (barrier + training), training-window close (scoring), and
+  scoring-window close (round end + bookkeeping).
+* :class:`AsyncRoundPolicy` — every cluster is its own event stream (the
+  paper's Async mode, Section 3.3).  The next cluster to act is always the
+  earliest event in the heap, replacing the old O(n) scan over all
+  aggregators with an O(log n) pop.
+* :class:`SemiSyncRoundPolicy` — bounded-staleness buffered-async
+  (FedBuff-style): clusters run at their own pace, but a logical round only
+  closes once ``quorum_k`` clusters have submitted *or* ``max_staleness``
+  simulated seconds have elapsed, and a cluster that already submitted to the
+  open round waits for it to close before starting its next one.
+
+Writing a new mode means subclassing :class:`RoundPolicy`, scheduling initial
+events in :meth:`~RoundPolicy.install`, and letting handlers schedule their
+successors.  See ``docs/scheduling.md`` for a walk-through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.sched.kernel import SimulationKernel
+
+# No module-level repro.core imports here: repro.core.__init__ imports the
+# orchestrators, which import this module — eager imports in both directions
+# would break whichever package is imported first.  Runtime needs are imported
+# inside the handful of methods that use them.
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.chain.account import Account
+    from repro.chain.blockchain import Blockchain
+    from repro.core.aggregator import UnifyFLAggregator
+    from repro.core.timing import ClusterTimingModel, RoundTiming
+
+
+@dataclass
+class OrchestrationContext:
+    """Everything a round policy needs to drive a federation."""
+
+    chain: "Blockchain"
+    driver: "Account"
+    aggregators: Sequence["UnifyFLAggregator"]
+    timing: "ClusterTimingModel"
+    num_rounds: int
+    #: shared per-aggregator accumulators, owned by the orchestrator facade.
+    idle_totals: Dict[str, float] = field(default_factory=dict)
+    straggles: Dict[str, int] = field(default_factory=dict)
+
+    def add_idle(self, name: str, waited: float) -> None:
+        self.idle_totals[name] = self.idle_totals.get(name, 0.0) + waited
+
+
+class RoundPolicy:
+    """Base class for orchestration modes expressed as kernel event streams."""
+
+    mode = "base"
+
+    def __init__(self, ctx: OrchestrationContext):
+        self.ctx = ctx
+        self.kernel: Optional[SimulationKernel] = None
+
+    def install(self, kernel: SimulationKernel) -> None:
+        """Schedule the policy's initial events on ``kernel``."""
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Run once after the kernel drains (e.g. leftover-scoring cleanup)."""
+
+    def extras(self) -> Dict[str, object]:
+        """Policy-specific result annotations (quorum stats, closures, ...)."""
+        return {}
+
+    # ------------------------------------------------------------ shared steps
+    def _free_running_round(self, aggregator: "UnifyFLAggregator", round_number: int) -> bool:
+        """One self-paced cluster round (the async/semi work unit).
+
+        Returns True when the cluster actually trained and submitted, False
+        when it sat the round out offline (fault injection).
+        """
+        from repro.core.timing import RoundTiming
+
+        now = aggregator.clock.now()
+        if not aggregator.is_available():
+            downtime = self.ctx.timing.client_training_time(aggregator.config, jitter=False)
+            aggregator.clock.advance(downtime)
+            aggregator.record_round(round_number, RoundTiming(idle_time=downtime), offline=True)
+            return False
+        # Idle clusters first serve the scoring requests assigned to them.
+        score_timing = aggregator.score_assigned(before_time=now)
+        pull_timing = aggregator.build_global_model(before_time=aggregator.clock.now())
+        train_timing = aggregator.local_training_round()
+        _, submit_timing = aggregator.submit_local_model()
+
+        timing = RoundTiming(
+            pull_time=pull_timing.pull_time + score_timing.pull_time,
+            client_training_time=train_timing.client_training_time,
+            aggregation_time=pull_timing.aggregation_time + train_timing.aggregation_time,
+            store_time=submit_timing.store_time,
+            chain_time=submit_timing.chain_time + score_timing.chain_time,
+            scoring_time=score_timing.scoring_time,
+        )
+        aggregator.record_round(round_number, timing, straggled=False)
+        return True
+
+    def _drain_scoring(self) -> None:
+        """Score any work still queued so final score lists are complete.
+
+        The drained effort is folded into each aggregator's *last* round
+        record, so summing per-round timings equals the cluster's clock —
+        previously the drain advanced the clock but left the records short.
+        """
+        for aggregator in sorted(self.ctx.aggregators, key=lambda a: a.clock.now()):
+            drain_timing = aggregator.score_assigned(before_time=aggregator.clock.now())
+            if aggregator.history and drain_timing.total_time > 0:
+                last = aggregator.history[-1].timing
+                last.scoring_time += drain_timing.scoring_time
+                last.pull_time += drain_timing.pull_time
+                last.chain_time += drain_timing.chain_time
+
+
+class SyncRoundPolicy(RoundPolicy):
+    """Lock-step rounds with fixed phase windows (Section 3.2)."""
+
+    mode = "sync"
+
+    def __init__(
+        self,
+        ctx: OrchestrationContext,
+        training_window: float,
+        scoring_window: float,
+    ):
+        super().__init__(ctx)
+        self.training_window = training_window
+        self.scoring_window = scoring_window
+        #: clusters that missed the submission window and owe a late submission.
+        self.pending_late: Dict[str, bool] = {a.name: False for a in ctx.aggregators}
+        self._round_timings: Dict[str, "RoundTiming"] = {}
+        self._straggled: Dict[str, bool] = {}
+        self._offline: Dict[str, bool] = {}
+
+    def install(self, kernel: SimulationKernel) -> None:
+        self.kernel = kernel
+        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        kernel.schedule_at(barrier, lambda: self._begin_round(1), key="sync-round")
+
+    # ------------------------------------------------------------ phase events
+    def _begin_round(self, round_number: int) -> None:
+        """Barrier + training phase; schedules the training-window close."""
+        from repro.core.timing import RoundTiming
+
+        assert self.kernel is not None
+        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        for aggregator in self.ctx.aggregators:
+            waited = aggregator.clock.advance_to(barrier)
+            self.ctx.add_idle(aggregator.name, waited)
+
+        self.ctx.chain.send(self.ctx.driver, "unifyfl", "startTraining")
+        self.ctx.chain.mine_until_empty()
+        phase_start = barrier
+        self._round_timings = {}
+        self._straggled = {}
+        self._offline = {}
+        for aggregator in self.ctx.aggregators:
+            timing = RoundTiming()
+            # Fault injection: an unavailable organisation sits the round out.
+            if not aggregator.is_available():
+                self._offline[aggregator.name] = True
+                self._straggled[aggregator.name] = False
+                self._round_timings[aggregator.name] = timing
+                continue
+            self._offline[aggregator.name] = False
+            # A cluster that straggled last round submits its stale model first.
+            if self.pending_late[aggregator.name]:
+                cid, late_timing = aggregator.submit_local_model()
+                timing.store_time += late_timing.store_time
+                timing.chain_time += late_timing.chain_time
+                self.pending_late[aggregator.name] = False
+            pull_timing = aggregator.build_global_model()
+            train_timing = aggregator.local_training_round()
+            timing.pull_time += pull_timing.pull_time
+            timing.aggregation_time += pull_timing.aggregation_time + train_timing.aggregation_time
+            timing.client_training_time += train_timing.client_training_time
+            elapsed = aggregator.clock.now() - phase_start
+            submit_cost = self.ctx.timing.transfer_time(aggregator.config.aggregator_profile, 1) + \
+                self.ctx.timing.chain_interaction_time(1)
+            if elapsed + submit_cost <= self.training_window:
+                _, submit_timing = aggregator.submit_local_model()
+                timing.store_time += submit_timing.store_time
+                timing.chain_time += submit_timing.chain_time
+                self._straggled[aggregator.name] = False
+            else:
+                # Missed the submission window: submit next round instead.
+                self._straggled[aggregator.name] = True
+                self.pending_late[aggregator.name] = True
+                self.ctx.straggles[aggregator.name] += 1
+            self._round_timings[aggregator.name] = timing
+
+        self.kernel.schedule_at(
+            phase_start + self.training_window,
+            lambda: self._close_training(round_number),
+            key="sync-round",
+        )
+
+    def _close_training(self, round_number: int) -> None:
+        """Training window elapses: everyone idles to it, scoring begins."""
+        assert self.kernel is not None
+        window_end = self.kernel.now()
+        for aggregator in self.ctx.aggregators:
+            waited = aggregator.clock.advance_to(window_end)
+            self.ctx.add_idle(aggregator.name, waited)
+            self._round_timings[aggregator.name].idle_time += waited
+
+        self.ctx.chain.send(self.ctx.driver, "unifyfl", "startScoring")
+        self.ctx.chain.mine_until_empty()
+        for aggregator in self.ctx.aggregators:
+            if self._offline.get(aggregator.name, False):
+                continue
+            score_timing = aggregator.score_assigned()
+            timing = self._round_timings[aggregator.name]
+            timing.scoring_time += score_timing.scoring_time
+            timing.pull_time += score_timing.pull_time
+            timing.chain_time += score_timing.chain_time
+
+        self.kernel.schedule_at(
+            window_end + self.scoring_window,
+            lambda: self._close_scoring(round_number),
+            key="sync-round",
+        )
+
+    def _close_scoring(self, round_number: int) -> None:
+        """Scoring window elapses: close the round and start the next one."""
+        assert self.kernel is not None
+        scoring_end = self.kernel.now()
+        for aggregator in self.ctx.aggregators:
+            waited = aggregator.clock.advance_to(scoring_end)
+            self.ctx.add_idle(aggregator.name, waited)
+            self._round_timings[aggregator.name].idle_time += waited
+
+        self.ctx.chain.send(self.ctx.driver, "unifyfl", "endRound")
+        self.ctx.chain.mine_until_empty()
+
+        for aggregator in self.ctx.aggregators:
+            aggregator.record_round(
+                round_number,
+                self._round_timings[aggregator.name],
+                straggled=self._straggled.get(aggregator.name, False),
+                offline=self._offline.get(aggregator.name, False),
+            )
+
+        if round_number < self.ctx.num_rounds:
+            barrier = max(a.clock.now() for a in self.ctx.aggregators)
+            self.kernel.schedule_at(
+                barrier, lambda: self._begin_round(round_number + 1), key="sync-round"
+            )
+
+
+class AsyncRoundPolicy(RoundPolicy):
+    """Free-running clusters; the earliest heap event is always next (3.3)."""
+
+    mode = "async"
+
+    def __init__(self, ctx: OrchestrationContext):
+        super().__init__(ctx)
+        self.rounds_done: Dict[str, int] = {a.name: 0 for a in ctx.aggregators}
+
+    def install(self, kernel: SimulationKernel) -> None:
+        self.kernel = kernel
+        for aggregator in self.ctx.aggregators:
+            kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda a=aggregator: self._activate(a),
+                key=aggregator.name,
+            )
+
+    def _activate(self, aggregator: "UnifyFLAggregator") -> None:
+        assert self.kernel is not None
+        round_number = self.rounds_done[aggregator.name] + 1
+        self._free_running_round(aggregator, round_number)
+        self.rounds_done[aggregator.name] = round_number
+        if round_number < self.ctx.num_rounds:
+            # Re-arm this cluster at its new local time: an O(log n) push,
+            # not an O(n) rescan of every aggregator.
+            self.kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda: self._activate(aggregator),
+                key=aggregator.name,
+            )
+
+    def finalize(self) -> None:
+        self._drain_scoring()
+
+
+class SemiSyncRoundPolicy(RoundPolicy):
+    """Bounded-staleness buffered-async rounds (FedBuff-style).
+
+    Clusters train and submit at their own pace, but the logical round only
+    closes when ``quorum_k`` of them have submitted or ``max_staleness``
+    simulated seconds have passed since the round opened.  A cluster that has
+    already submitted to the open round *waits* for the close before starting
+    its next round — that wait is the (bounded) idle price paid for keeping
+    the federation's model versions within one round of each other.
+    """
+
+    mode = "semi"
+
+    def __init__(
+        self,
+        ctx: OrchestrationContext,
+        quorum_k: int,
+        max_staleness: float,
+    ):
+        super().__init__(ctx)
+        from repro.core.config import validate_semi_params
+
+        validate_semi_params(quorum_k, max_staleness, len(ctx.aggregators))
+        self.quorum_k = quorum_k
+        self.max_staleness = max_staleness
+        self.rounds_done: Dict[str, int] = {a.name: 0 for a in ctx.aggregators}
+        #: clusters waiting for the open round to close before re-activating.
+        self._blocked: Dict[str, "UnifyFLAggregator"] = {}
+        #: semi round each cluster's latest submission was buffered into.
+        self._submitted_round: Dict[str, int] = {}
+        #: submissions that have *landed* (reached their submitter's local
+        #: completion time on the global timeline) in the open round — this,
+        #: not the contract's eagerly-registered buffer, is what quorum and
+        #: staleness decisions are made on.
+        self._landed = 0
+        #: set when the open round's staleness deadline passed with nothing
+        #: landed yet: the next landing closes the round immediately, so a
+        #: round never stays open past max_staleness once it has content.
+        self._deadline_passed = False
+        self._finished: set = set()
+        self._timeout_event = None
+        #: audit trail of round closures: (round, close_time, reason, landed).
+        #: "landed" is the policy's own count and can be smaller than the
+        #: contract's SemiRoundClosed buffered count when submissions were
+        #: registered on-chain but still in flight at close time.
+        self.closures: List[tuple] = []
+
+    # ----------------------------------------------------------------- install
+    def install(self, kernel: SimulationKernel) -> None:
+        self.kernel = kernel
+        self.ctx.chain.send(
+            self.ctx.driver, "unifyfl", "configureSemiRound", {"quorum_k": self.quorum_k}
+        )
+        self.ctx.chain.mine_until_empty()
+        for aggregator in self.ctx.aggregators:
+            kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda a=aggregator: self._activate(a),
+                key=aggregator.name,
+            )
+        self._arm_timeout()
+
+    # ------------------------------------------------------------------ events
+    def _activate(self, aggregator: "UnifyFLAggregator") -> None:
+        """Run one self-paced cluster round starting at this event's time.
+
+        The round's work is atomic (it advances the cluster's *local* clock
+        past the kernel's global time), so quorum bookkeeping is deferred to a
+        separate :meth:`_on_submission` event scheduled at the cluster's local
+        submission time — that keeps round closes and staleness timeouts
+        correctly ordered on the global timeline.
+        """
+        assert self.kernel is not None
+        round_number = self.rounds_done[aggregator.name] + 1
+        submitted = self._free_running_round(aggregator, round_number)
+        self.rounds_done[aggregator.name] = round_number
+        done = round_number >= self.ctx.num_rounds
+        if done:
+            self._finished.add(aggregator.name)
+
+        if submitted:
+            status = self.ctx.chain.call("unifyfl", "getSemiRoundStatus")
+            self._submitted_round[aggregator.name] = status["round"]
+            self.kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda: self._on_submission(aggregator),
+                key=aggregator.name,
+            )
+        elif not done:
+            # Offline round: nothing was submitted, keep free-running.
+            self._reactivate(aggregator)
+
+        if self._all_finished() and self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+
+    def _on_submission(self, aggregator: "UnifyFLAggregator") -> None:
+        """The cluster's submission lands (in global time): close or wait."""
+        assert self.kernel is not None
+        done = aggregator.name in self._finished
+        status = self.ctx.chain.call("unifyfl", "getSemiRoundStatus")
+        if status["round"] > self._submitted_round.get(aggregator.name, 0):
+            # The round this cluster fed was closed while its submission was
+            # in flight — it is free to continue immediately.
+            if not done:
+                self._reactivate(aggregator)
+            return
+        self._landed += 1
+        if self._landed >= self.quorum_k:
+            self._close_round(reason="quorum")
+            if not done:
+                self._reactivate(aggregator)
+        elif self._deadline_passed:
+            # The round is already past its staleness deadline; this first
+            # landing gives it content, so it closes right away.
+            self._close_round(reason="staleness")
+            if not done:
+                self._reactivate(aggregator)
+        elif not done:
+            # Submitted to a round that is still open: wait for the close.
+            self._blocked[aggregator.name] = aggregator
+
+    def _on_timeout(self) -> None:
+        assert self.kernel is not None
+        self._timeout_event = None
+        if self._all_finished():
+            return
+        if self._landed > 0:
+            self._close_round(reason="staleness")
+        else:
+            # Nothing has landed yet: an empty round cannot close, but the
+            # deadline stands — the next landing closes it immediately.
+            self._deadline_passed = True
+
+    # --------------------------------------------------------------- internals
+    def _reactivate(self, aggregator: "UnifyFLAggregator") -> None:
+        assert self.kernel is not None
+        self.kernel.schedule_at(
+            aggregator.clock.now(),
+            lambda: self._activate(aggregator),
+            key=aggregator.name,
+        )
+
+    def _arm_timeout(self) -> None:
+        assert self.kernel is not None
+        self._timeout_event = self.kernel.schedule_after(
+            self.max_staleness, self._on_timeout, priority=1, key="semi-timeout"
+        )
+
+    def _close_round(self, reason: str) -> None:
+        """Close the open semi round on the contract and release waiters."""
+        assert self.kernel is not None
+        close_time = self.kernel.now()
+        status = self.ctx.chain.call("unifyfl", "getSemiRoundStatus")
+        self.ctx.chain.send(
+            self.ctx.driver, "unifyfl", "closeSemiRound", {"timestamp": close_time}
+        )
+        self.ctx.chain.mine_until_empty()
+        self.closures.append((status["round"], close_time, reason, self._landed))
+        self._landed = 0
+        self._deadline_passed = False
+
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+        if not self._all_finished():
+            self._arm_timeout()
+        else:
+            self._timeout_event = None
+
+        blocked = [self._blocked.pop(name) for name in sorted(self._blocked)]
+        for aggregator in blocked:
+            waited = aggregator.clock.advance_to(close_time)
+            self.ctx.add_idle(aggregator.name, waited)
+            if aggregator.history:
+                aggregator.history[-1].timing.idle_time += waited
+            self._reactivate(aggregator)
+
+    def _all_finished(self) -> bool:
+        return len(self._finished) == len(self.ctx.aggregators)
+
+    # ----------------------------------------------------------------- results
+    def finalize(self) -> None:
+        self._drain_scoring()
+
+    def extras(self) -> Dict[str, object]:
+        quorum = sum(1 for c in self.closures if c[2] == "quorum")
+        staleness = sum(1 for c in self.closures if c[2] == "staleness")
+        return {
+            "semi_quorum_k": self.quorum_k,
+            "max_staleness": self.max_staleness,
+            "rounds_closed": len(self.closures),
+            "quorum_closures": quorum,
+            "staleness_closures": staleness,
+            "closures": list(self.closures),
+        }

@@ -17,6 +17,7 @@ containers).  This package provides the simulated equivalent:
 """
 
 from repro.simnet.clock import SimClock
+from repro.simnet.events import Event, EventQueue
 from repro.simnet.hardware import (
     DOCKER_CONTAINER,
     EDGE_CPU_NODE,
@@ -31,6 +32,8 @@ from repro.simnet.resources import ProcessSample, ResourceMonitor, ResourceRepor
 
 __all__ = [
     "SimClock",
+    "Event",
+    "EventQueue",
     "DOCKER_CONTAINER",
     "EDGE_CPU_NODE",
     "GPU_NODE",

@@ -11,7 +11,7 @@ from repro.core.aggregator import UnifyFLAggregator
 from repro.core.attacks import SignFlipAttack
 from repro.core.config import ClusterConfig, cifar10_workload
 from repro.core.contract import UnifyFLContract
-from repro.core.orchestrator import AsyncOrchestrator, SyncOrchestrator
+from repro.core.orchestrator import AsyncOrchestrator, SemiSyncOrchestrator, SyncOrchestrator
 from repro.core.scorer import AccuracyScorer
 from repro.core.timing import ClusterTimingModel
 from repro.datasets.partition import IIDPartitioner
@@ -254,6 +254,48 @@ class TestSyncOrchestrator:
             orchestrator.run(0)
 
 
+class TestSyncStragglerPath:
+    """The straggler/late-submission path (Section 3.2's missed windows)."""
+
+    def test_stragglers_submit_their_stale_model_next_round(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        orchestrator = SyncOrchestrator(
+            chain, driver, aggregators, timing, training_window=0.5, scoring_window=5.0
+        )
+        result = orchestrator.run(2)
+        # The window is far too tight for anyone: every cluster straggles in
+        # round 1, so no model reaches the contract during that round...
+        assert chain.call("unifyfl", "roundSubmissionCount", {"round_number": 1}) == 0
+        assert all(h[0].straggled for h in result.histories.values())
+        # ...and every cluster opens round 2 by submitting its stale model.
+        assert chain.call("unifyfl", "roundSubmissionCount", {"round_number": 2}) == len(aggregators)
+        for history in result.histories.values():
+            assert history[0].timing.store_time == 0.0
+            assert history[1].timing.store_time > 0.0
+        assert all(count == 2 for count in result.straggler_counts.values())
+
+    def test_late_submissions_carry_the_next_round_number(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        SyncOrchestrator(
+            chain, driver, aggregators, timing, training_window=0.5, scoring_window=5.0
+        ).run(2)
+        records = chain.call("unifyfl", "getLatestModelsWithScores")
+        assert records and all(r["round"] == 2 for r in records)
+
+    def test_explicit_zero_training_window_is_honoured(self):
+        # Regression: `training_window=0.0` used to be silently replaced by the
+        # provisioned default because of a truthiness check.
+        chain, driver, aggregators, timing, _ = build_federation(mode="sync")
+        orchestrator = SyncOrchestrator(
+            chain, driver, aggregators, timing, training_window=0.0, scoring_window=0.0
+        )
+        assert orchestrator.training_window == 0.0
+        assert orchestrator.scoring_window == 0.0
+        result = orchestrator.run(1)
+        # A zero-length window means nobody can ever submit in time.
+        assert all(count == 1 for count in result.straggler_counts.values())
+
+
 class TestAsyncOrchestrator:
     def test_two_rounds_complete(self):
         chain, driver, aggregators, timing, _ = build_federation(mode="async")
@@ -291,3 +333,149 @@ class TestAsyncOrchestrator:
         chain, driver, aggregators, timing, _ = build_federation(mode="async")
         result = AsyncOrchestrator(chain, driver, aggregators, timing).run(2)
         assert all(idle == 0.0 for idle in result.idle_times.values())
+
+    def test_round_timings_account_for_every_clock_second(self):
+        # Regression: the end-of-run scoring drain advanced each cluster's
+        # clock but recorded no timing, so summed round records understated
+        # the cluster's total time.  The drain is now folded into the last
+        # round record and the books balance exactly.
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        result = AsyncOrchestrator(chain, driver, aggregators, timing).run(2)
+        for aggregator in aggregators:
+            recorded = sum(r.timing.total_time for r in result.histories[aggregator.name])
+            assert recorded == pytest.approx(aggregator.total_time(), abs=1e-9)
+
+    def test_scheduling_goes_through_the_event_kernel(self):
+        chain, driver, aggregators, timing, _ = build_federation(mode="async")
+        orchestrator = AsyncOrchestrator(chain, driver, aggregators, timing)
+        orchestrator.run(2)
+        assert orchestrator.kernel is not None
+        # One activation event per cluster round, all dispatched via the heap.
+        assert orchestrator.kernel.events_processed == len(aggregators) * 2
+        stats = orchestrator.kernel.queue.stats
+        assert stats["pushes"] == stats["pops"] == len(aggregators) * 2
+
+
+class TestSemiSyncOrchestrator:
+    def _heterogeneous(self, seed=0):
+        chain, driver, aggregators, timing, test = build_federation(mode="semi", seed=seed)
+        # Slow one cluster down so clocks genuinely diverge and quorum waits occur.
+        from repro.simnet.hardware import RASPBERRY_PI_400
+
+        aggregators[0].config = ClusterConfig(
+            name=aggregators[0].config.name, num_clients=2, client_profile=RASPBERRY_PI_400
+        )
+        return chain, driver, aggregators, timing
+
+    def test_rounds_complete_for_every_cluster(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        result = SemiSyncOrchestrator(chain, driver, aggregators, timing).run(2)
+        assert result.mode == "semi"
+        assert result.rounds_completed == 2
+        assert all(len(h) == 2 for h in result.histories.values())
+
+    def test_quorum_waits_produce_bounded_idle(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        result = SemiSyncOrchestrator(
+            chain, driver, aggregators, timing, quorum_k=2
+        ).run(3)
+        # Someone waited for a round to close (unlike async)...
+        assert sum(result.idle_times.values()) > 0.0
+        # ...but nobody waited longer than the default staleness bound (one
+        # provisioned sync training window) per round.
+        bound = timing.expected_training_window([a.config for a in aggregators])
+        for history in result.histories.values():
+            for record in history:
+                assert record.timing.idle_time <= bound + 1e-9
+
+    def test_quorum_of_one_degenerates_to_async(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        result = SemiSyncOrchestrator(
+            chain, driver, aggregators, timing, quorum_k=1
+        ).run(2)
+        assert all(idle == 0.0 for idle in result.idle_times.values())
+        assert result.extras["staleness_closures"] == 0
+
+    def test_small_staleness_bound_forces_staleness_closures(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        result = SemiSyncOrchestrator(
+            chain, driver, aggregators, timing, quorum_k=3, max_staleness=4.0
+        ).run(2)
+        assert result.extras["staleness_closures"] > 0
+
+    def test_expired_deadline_closes_at_the_first_landing(self):
+        # With a staleness bound far smaller than any round, every deadline
+        # expires on an empty round; the round must then close as soon as one
+        # submission lands, never by quorum.
+        chain, driver, aggregators, timing = self._heterogeneous()
+        result = SemiSyncOrchestrator(
+            chain, driver, aggregators, timing, quorum_k=3, max_staleness=0.5
+        ).run(2)
+        assert result.extras["quorum_closures"] == 0
+        assert result.extras["staleness_closures"] == result.extras["rounds_closed"] > 0
+
+    def test_closures_are_recorded_in_time_order(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        result = SemiSyncOrchestrator(chain, driver, aggregators, timing).run(3)
+        closures = result.extras["closures"]
+        assert len(closures) == result.extras["rounds_closed"] >= 1
+        close_times = [c[1] for c in closures]
+        assert close_times == sorted(close_times)
+        assert all(c[2] in ("quorum", "staleness") for c in closures)
+
+    def test_round_timings_account_for_every_clock_second(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        result = SemiSyncOrchestrator(chain, driver, aggregators, timing).run(2)
+        for aggregator in aggregators:
+            recorded = sum(r.timing.total_time for r in result.histories[aggregator.name])
+            assert recorded == pytest.approx(aggregator.total_time(), abs=1e-9)
+
+    def test_deterministic_for_a_fixed_seed(self):
+        def run(seed):
+            chain, driver, aggregators, timing = self._heterogeneous(seed=seed)
+            result = SemiSyncOrchestrator(chain, driver, aggregators, timing).run(2)
+            return (
+                result.total_times,
+                result.idle_times,
+                {n: [r.global_accuracy for r in h] for n, h in result.histories.items()},
+                result.extras["closures"],
+            )
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_invalid_parameters_rejected(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        with pytest.raises(ValueError):
+            SemiSyncOrchestrator(chain, driver, aggregators, timing, quorum_k=0)
+        with pytest.raises(ValueError):
+            SemiSyncOrchestrator(chain, driver, aggregators, timing, quorum_k=len(aggregators) + 1)
+        with pytest.raises(ValueError):
+            SemiSyncOrchestrator(chain, driver, aggregators, timing, max_staleness=0.0)
+
+    def test_scores_eventually_submitted(self):
+        chain, driver, aggregators, timing = self._heterogeneous()
+        SemiSyncOrchestrator(chain, driver, aggregators, timing).run(2)
+        records = chain.call("unifyfl", "getLatestModelsWithScores")
+        assert any(len(r["scores"]) > 0 for r in records)
+
+    def test_extras_reach_the_experiment_result_and_json(self, tmp_path):
+        from repro.core.config import ExperimentConfig, edge_cluster_configs
+        from repro.core.reporting import load_result_json, save_result_json
+        from repro.core.runner import ExperimentRunner
+
+        config = ExperimentConfig(
+            name="semi-extras",
+            workload=cifar10_workload(rounds=2, samples_per_class=8, image_size=8),
+            clusters=edge_cluster_configs(num_clients=2),
+            mode="semi",
+            rounds=2,
+            seed=1,
+            monitor_resources=False,
+        )
+        result = ExperimentRunner(config).run()
+        extras = result.orchestration_extras
+        assert extras["semi_quorum_k"] == 2
+        assert extras["rounds_closed"] == len(extras["closures"]) >= 1
+        document = load_result_json(save_result_json(result, tmp_path / "semi.json"))
+        assert document["orchestration_extras"]["rounds_closed"] == extras["rounds_closed"]

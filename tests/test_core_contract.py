@@ -226,6 +226,122 @@ class TestAsyncMode:
         assert not async_chain.receipt(tx_hash).success
 
 
+class TestSemiMode:
+    @pytest.fixture()
+    def semi_chain(self, validator_accounts):
+        chain = Blockchain(validator_accounts, block_period=1.0)
+        chain.deploy_contract(UnifyFLContract(mode="semi", scorer_seed=1))
+        _register(chain, validator_accounts)
+        return chain
+
+    def test_semi_starts_buffering_in_round_one(self, semi_chain):
+        assert semi_chain.call("unifyfl", "getPhase") == "buffering"
+        assert semi_chain.call("unifyfl", "getCurrentRound") == 1
+
+    def test_submission_buffers_and_assigns_scorers(self, semi_chain, validator_accounts):
+        cid = "Qm" + "a" * 64
+        semi_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": cid, "timestamp": 5.0})
+        semi_chain.mine_until_empty()
+        submission = semi_chain.call("unifyfl", "getSubmission", {"cid": cid})
+        assert len(submission["assigned_scorers"]) == 2
+        status = semi_chain.call("unifyfl", "getSemiRoundStatus")
+        assert status == {
+            "round": 1,
+            "buffered": 1,
+            "submitters": 1,
+            "quorum_k": 2,
+            "opened_at": 0.0,
+            "quorum_reached": False,
+        }
+
+    def test_quorum_event_emitted_at_threshold(self, semi_chain, validator_accounts):
+        for i, account in enumerate(validator_accounts[:2]):
+            semi_chain.send(account, "unifyfl", "submitModel", {"cid": "Qm" + str(i) * 64})
+        semi_chain.mine_until_empty()
+        assert semi_chain.call("unifyfl", "getSemiRoundStatus")["quorum_reached"]
+        events = semi_chain.events(EventFilter(name="SemiQuorumReached"))
+        assert len(events) == 1
+        assert events[0].payload["buffered"] == 2
+
+    def test_quorum_event_fires_once_even_past_threshold(self, semi_chain, validator_accounts):
+        for i, account in enumerate(validator_accounts):
+            semi_chain.send(account, "unifyfl", "submitModel", {"cid": "Qm" + str(i) * 64})
+        semi_chain.mine_until_empty()
+        events = semi_chain.events(EventFilter(name="SemiQuorumReached"))
+        assert len(events) == 1
+        assert events[0].payload["submitters"] == 2
+
+    def test_quorum_counts_distinct_clusters_not_submissions(self, semi_chain, validator_accounts):
+        # One cluster resubmitting must not reach a 2-cluster quorum by itself.
+        for tag in ("x", "y"):
+            semi_chain.send(
+                validator_accounts[0], "unifyfl", "submitModel", {"cid": "Qm" + tag * 64}
+            )
+        semi_chain.mine_until_empty()
+        status = semi_chain.call("unifyfl", "getSemiRoundStatus")
+        assert status["buffered"] == 2
+        assert status["submitters"] == 1
+        assert not status["quorum_reached"]
+        assert not semi_chain.events(EventFilter(name="SemiQuorumReached"))
+
+    def test_close_advances_round_and_clears_buffer(self, semi_chain, validator_accounts):
+        semi_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": "Qm" + "b" * 64})
+        semi_chain.mine_until_empty()
+        semi_chain.send(validator_accounts[0], "unifyfl", "closeSemiRound", {"timestamp": 12.5})
+        semi_chain.mine_until_empty()
+        status = semi_chain.call("unifyfl", "getSemiRoundStatus")
+        assert status["round"] == 2
+        assert status["buffered"] == 0
+        assert status["opened_at"] == 12.5
+        closed = semi_chain.events(EventFilter(name="SemiRoundClosed"))
+        assert len(closed) == 1
+        assert closed[0].payload["duration"] == 12.5
+
+    def test_close_empty_round_reverts(self, semi_chain, validator_accounts):
+        tx_hash = semi_chain.send(validator_accounts[0], "unifyfl", "closeSemiRound", {"timestamp": 1.0})
+        semi_chain.mine_until_empty()
+        receipt = semi_chain.receipt(tx_hash)
+        assert not receipt.success
+        assert "no submissions" in receipt.error
+
+    def test_configure_quorum(self, semi_chain, validator_accounts):
+        semi_chain.send(validator_accounts[0], "unifyfl", "configureSemiRound", {"quorum_k": 3})
+        semi_chain.mine_until_empty()
+        assert semi_chain.call("unifyfl", "getSemiRoundStatus")["quorum_k"] == 3
+
+    def test_reconfigure_mid_round_reverts(self, semi_chain, validator_accounts):
+        semi_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": "Qm" + "e" * 64})
+        semi_chain.mine_until_empty()
+        tx_hash = semi_chain.send(validator_accounts[0], "unifyfl", "configureSemiRound", {"quorum_k": 3})
+        semi_chain.mine_until_empty()
+        receipt = semi_chain.receipt(tx_hash)
+        assert not receipt.success
+        assert "between rounds" in receipt.error
+
+    def test_submissions_land_in_successive_rounds(self, semi_chain, validator_accounts):
+        semi_chain.send(validator_accounts[0], "unifyfl", "submitModel", {"cid": "Qm" + "c" * 64})
+        semi_chain.mine_until_empty()
+        semi_chain.send(validator_accounts[0], "unifyfl", "closeSemiRound", {"timestamp": 9.0})
+        semi_chain.mine_until_empty()
+        semi_chain.send(validator_accounts[1], "unifyfl", "submitModel", {"cid": "Qm" + "d" * 64})
+        semi_chain.mine_until_empty()
+        first = semi_chain.call("unifyfl", "getSubmission", {"cid": "Qm" + "c" * 64})
+        second = semi_chain.call("unifyfl", "getSubmission", {"cid": "Qm" + "d" * 64})
+        assert (first["round"], second["round"]) == (1, 2)
+
+    def test_semi_round_methods_revert_outside_semi_mode(self, unifyfl_chain, validator_accounts):
+        _register(unifyfl_chain, validator_accounts)
+        tx_hash = unifyfl_chain.send(validator_accounts[0], "unifyfl", "closeSemiRound", {"timestamp": 0.0})
+        unifyfl_chain.mine_until_empty()
+        assert not unifyfl_chain.receipt(tx_hash).success
+        with pytest.raises(Exception):
+            unifyfl_chain.call("unifyfl", "getSemiRoundStatus")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            UnifyFLContract(mode="bogus")
+
+
 class TestViews:
     def test_exclude_submitter(self, unifyfl_chain, validator_accounts):
         _register(unifyfl_chain, validator_accounts)

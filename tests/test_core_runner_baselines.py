@@ -224,9 +224,11 @@ class TestCapabilities:
 
     def test_sync_async_comparison_matches_table3(self):
         table = sync_async_comparison()
-        assert table["idle_time"] == {"sync": "high", "async": "low"}
+        assert table["idle_time"] == {"sync": "high", "async": "low", "semi": "bounded"}
         assert table["weight_similarity_scoring"]["async"] == "not supported"
+        assert table["weight_similarity_scoring"]["semi"] == "not supported"
         assert len(table) == 7
+        assert all(set(row) == {"sync", "async", "semi"} for row in table.values())
 
 
 class TestResultFormatting:
