@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Run every fenced Python snippet in the Markdown documentation.
+
+Documentation that cannot execute is documentation that has drifted.  This
+script extracts each ```python fenced block from the given Markdown files
+(default: ``README.md`` and everything under ``docs/``) and executes it in a
+fresh interpreter with ``src/`` on the path, failing loudly on the first
+snippet that raises.
+
+A block can opt out by placing the marker comment
+
+    <!-- snippet: no-run -->
+
+on any of the three lines directly above its opening fence (for fragments
+that illustrate an API mid-flow rather than a runnable program).  ```bash
+blocks are never executed — the CI workflow smoke-tests the CLI separately.
+
+Usage::
+
+    python scripts/check_doc_snippets.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+NO_RUN_MARKER = "<!-- snippet: no-run -->"
+FENCE_RE = re.compile(r"^```python\s*$")
+CLOSE_RE = re.compile(r"^```\s*$")
+
+#: generous per-snippet budget; doc snippets are meant to be quickstarts.
+TIMEOUT_S = 300
+
+
+def extract_snippets(path: Path) -> List[Tuple[int, str]]:
+    """Return ``(line_number, code)`` for each runnable python block."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    snippets: List[Tuple[int, str]] = []
+    i = 0
+    while i < len(lines):
+        if FENCE_RE.match(lines[i]):
+            skip = any(
+                NO_RUN_MARKER in lines[j]
+                for j in range(max(0, i - 3), i)
+            )
+            block: List[str] = []
+            start = i + 1
+            i += 1
+            while i < len(lines) and not CLOSE_RE.match(lines[i]):
+                block.append(lines[i])
+                i += 1
+            if not skip and block:
+                snippets.append((start + 1, "\n".join(block) + "\n"))
+        i += 1
+    return snippets
+
+
+def run_snippet(origin: str, code: str) -> Tuple[bool, str]:
+    """Execute one snippet in a subprocess; return (ok, combined output)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as handle:
+        handle.write(code)
+        script = handle.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, script],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=TIMEOUT_S,
+        )
+        output = proc.stdout + proc.stderr
+        return proc.returncode == 0, output
+    except subprocess.TimeoutExpired:
+        return False, f"timed out after {TIMEOUT_S}s"
+    finally:
+        os.unlink(script)
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def main(argv: List[str]) -> int:
+    files = [Path(arg) for arg in argv] if argv else default_files()
+    failures = 0
+    total = 0
+    for path in files:
+        for line, code in extract_snippets(path):
+            total += 1
+            origin = f"{path.relative_to(REPO_ROOT) if path.is_absolute() else path}:{line}"
+            ok, output = run_snippet(origin, code)
+            status = "ok" if ok else "FAIL"
+            print(f"[{status}] {origin}")
+            if not ok:
+                failures += 1
+                print(output)
+    print(f"{total - failures}/{total} documentation snippets ran cleanly")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

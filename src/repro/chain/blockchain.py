@@ -83,6 +83,8 @@ class Blockchain:
         self._receipts: Dict[str, TransactionReceipt] = {}
         self._known_accounts: Dict[str, Account] = {a.address: a for a in validators}
         self._expected_nonces: Dict[str, int] = {}
+        #: callbacks fired after every sealed block (see :meth:`add_block_listener`).
+        self._block_listeners: List[Callable[[Block], None]] = []
         self.blocks: List[Block] = [self._genesis_block()]
 
     # -- setup ---------------------------------------------------------------
@@ -93,6 +95,22 @@ class Blockchain:
     def deploy_contract(self, contract: Contract) -> Contract:
         """Deploy a contract to the runtime."""
         return self.runtime.deploy(contract)
+
+    def add_block_listener(self, callback: Callable[[Block], None]) -> Callable[[], None]:
+        """Invoke ``callback`` with every block sealed from now on.
+
+        This is the chain-side emission hook the event-stream layer uses: the
+        :class:`~repro.sched.actors.ChainActor` subscribes so each sealed
+        block (and the transactions it carries) becomes an observable event on
+        the simulation timeline.  Returns an unsubscribe callable.
+        """
+        self._block_listeners.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._block_listeners:
+                self._block_listeners.remove(callback)
+
+        return unsubscribe
 
     def _genesis_block(self) -> Block:
         header = BlockHeader(
@@ -200,6 +218,8 @@ class Blockchain:
         self.metrics.blocks_mined += 1
         self.metrics.total_gas_used += block_gas
         self.metrics.total_bytes += block.estimated_size_bytes()
+        for listener in list(self._block_listeners):
+            listener(block)
         return block
 
     def mine_until_empty(self) -> List[Block]:

@@ -22,6 +22,14 @@ class CliqueError(Exception):
     """Raised when a block violates the Clique sealing rules."""
 
 
+#: simulated per-transaction validation/gossip cost in seconds — the single
+#: source of truth shared by the constant-cost timing model
+#: (:meth:`repro.core.timing.ClusterTimingModel.chain_interaction_time`) and
+#: the event-stream chain actor (:class:`repro.sched.actors.ChainActor`), so
+#: the two cost models cannot silently drift apart.
+TX_VALIDATION_COST_S = 0.05
+
+
 class CliqueEngine:
     """Implements the Clique signer rotation and seal validation.
 
@@ -122,3 +130,29 @@ class CliqueEngine:
         if sealer == self.in_turn_signer(block_number):
             return self.block_period
         return self.block_period * 1.5
+
+
+def consensus_delay(num_signers: int, block_period: float) -> float:
+    """Expected per-block Clique consensus latency beyond the block interval.
+
+    A sealed block is not final the instant its interval elapses: every signer
+    verifies the seal (a small per-signer cost) and, once per rotation, the
+    in-turn signer is ineligible and an out-of-turn signer seals after Geth's
+    wiggle delay (``period / 2``, amortised over the rotation here).  The
+    event-stream chain actor (:class:`repro.sched.actors.ChainActor`) adds
+    this on top of the block-interval quantisation.
+
+    Args:
+        num_signers: size of the authorised signer set.
+        block_period: Clique target seconds between blocks.
+
+    Returns:
+        Simulated seconds of consensus overhead per sealed block.
+    """
+    if num_signers <= 0:
+        raise CliqueError("consensus delay requires at least one signer")
+    if block_period <= 0:
+        raise CliqueError("block_period must be positive")
+    verification = 0.01 * num_signers
+    amortised_wiggle = (block_period / 2.0) / num_signers
+    return verification + amortised_wiggle

@@ -10,8 +10,14 @@ without writing Python::
     python -m repro.cli run --mode semi --semi-quorum-k 2 --max-staleness 60 \
         --workload cifar10 --rounds 6                            # semi-sync (quorum/staleness)
 
+    python -m repro.cli run --mode async --event-streams \
+        --link-bandwidth 10 --block-interval 2                   # contended I/O + chain delays
+
     python -m repro.cli compare --workload cifar10 --rounds 6   # sync vs async vs semi vs baselines
     python -m repro.cli policies                                 # list available policies
+
+The same entry point is installed as the ``repro`` console script
+(``pip install -e .`` then ``repro run --mode semi ...``).
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ from repro.core.config import (
 )
 from repro.core.policies import available_aggregation_policies, available_scoring_policies
 from repro.core.reporting import save_result_json, save_results_csv
-from repro.core.results import format_comparison, format_resource_table, format_run_table
+from repro.core.results import (
+    format_comm_table,
+    format_comparison,
+    format_resource_table,
+    format_run_table,
+)
 from repro.core.runner import ExperimentRunner
 
 
@@ -76,6 +87,10 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         seed=args.seed,
         semi_quorum_k=args.semi_quorum_k,
         max_staleness=args.max_staleness,
+        event_streams=args.event_streams,
+        link_bandwidth_mbps=args.link_bandwidth,
+        link_latency_s=args.link_latency,
+        block_interval=args.block_interval,
     )
 
 
@@ -103,6 +118,25 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-staleness", type=float, default=None, dest="max_staleness",
         help="semi mode: simulated seconds before an open round closes without quorum",
+    )
+    parser.add_argument(
+        "--event-streams", action="store_true", dest="event_streams",
+        help="model network transfers and contract calls as contended event streams "
+        "(link queueing + block-interval/consensus chain delays)",
+    )
+    parser.add_argument(
+        "--link-bandwidth", type=float, default=None, dest="link_bandwidth",
+        help="event streams: cap each cluster's storage link at this many MB per "
+        "simulated second (default: the hardware profile's bandwidth)",
+    )
+    parser.add_argument(
+        "--link-latency", type=float, default=None, dest="link_latency",
+        help="event streams: override the one-way storage-link latency in seconds",
+    )
+    parser.add_argument(
+        "--block-interval", type=float, default=None, dest="block_interval",
+        help="event streams: seconds between chain block boundaries (default: the "
+        "experiment's block period)",
     )
 
 
@@ -134,6 +168,9 @@ def _command_run(args: argparse.Namespace) -> int:
     print()
     print(f"Mean global accuracy : {result.mean_global_accuracy * 100:.2f} %")
     print(f"Federation makespan  : {result.max_total_time:.0f} simulated seconds")
+    if result.comm_metrics:
+        print()
+        print(format_comm_table(result))
     if args.show_resources and result.resource_reports:
         print()
         print(format_resource_table(result.resource_reports))

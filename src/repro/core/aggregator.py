@@ -15,6 +15,13 @@ both roles described in Section 3.1 of the paper:
 All durations are tracked on the aggregator's simulated clock through the
 :class:`~repro.core.timing.ClusterTimingModel`, and resource usage samples are
 pushed to the shared :class:`~repro.simnet.resources.ResourceMonitor`.
+
+When the experiment enables event streams, the aggregator charges its
+pull/store/chain costs through the shared
+:class:`~repro.sched.actors.CommFabric` instead of the constant-cost timing
+model: uploads and downloads queue on contended links, and contract calls
+wait for the next sealed block.  With no fabric attached (the default) the
+constant-cost arithmetic is byte-for-byte the same as before.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from repro.fl.strategy import Strategy, build_strategy
 from repro.ipfs.node import IPFSNode
 from repro.ml.models import Model
 from repro.ml.serialization import weights_from_bytes, weights_to_bytes
+from repro.sched.actors import CommFabric
 from repro.simnet.clock import SimClock
 from repro.simnet.resources import ResourceMonitor
 
@@ -87,6 +95,7 @@ class UnifyFLAggregator:
         scoring_policy: Optional[ScoringPolicy] = None,
         attack: Optional[ModelPoisoningAttack] = None,
         resource_monitor: Optional[ResourceMonitor] = None,
+        comm: Optional["CommFabric"] = None,
         seed: int = 0,
     ):
         if not clients:
@@ -111,6 +120,9 @@ class UnifyFLAggregator:
         self.scoring_policy = scoring_policy or build_scoring_policy(config.scoring_policy)
         self.attack = attack
         self.monitor = resource_monitor
+        #: the shared event-stream communication fabric, or ``None`` for the
+        #: constant-cost timing path (the default).
+        self.comm = comm
         self.clock = SimClock()
         self._rng = np.random.default_rng(seed)
 
@@ -253,7 +265,10 @@ class UnifyFLAggregator:
         else:
             self.global_weights = [np.array(w, copy=True) for w in self.local_weights]
 
-        timing.pull_time = self.timing.transfer_time(self.config.aggregator_profile, num_pulled)
+        if self.comm is not None:
+            timing.pull_time = self.comm.download(self.name, num_pulled, at=self.clock.now())
+        else:
+            timing.pull_time = self.timing.transfer_time(self.config.aggregator_profile, num_pulled)
         timing.aggregation_time = self.timing.aggregation_time(self.config, num_pulled + 1)
         self.clock.advance(timing.pull_time + timing.aggregation_time)
         self._record_resources("agg", cpu=self.config.aggregator_profile.train_cpu_percent * 0.12)
@@ -283,8 +298,15 @@ class UnifyFLAggregator:
             weights = self.attack.poison(weights, rng=self._rng)
         payload = weights_to_bytes(weights)
         cid = self.ipfs.add(payload)
-        timing.store_time = self.timing.transfer_time(self.config.aggregator_profile, 1)
-        timing.chain_time = self.timing.chain_interaction_time(1)
+        if self.comm is not None:
+            now = self.clock.now()
+            timing.store_time = self.comm.upload(self.name, 1, at=now)
+            timing.chain_time = self.comm.chain_op(
+                "submitModel", self.name, at=now + timing.store_time
+            )
+        else:
+            timing.store_time = self.timing.transfer_time(self.config.aggregator_profile, 1)
+            timing.chain_time = self.timing.chain_interaction_time(1)
         self.clock.advance(timing.store_time + timing.chain_time)
         self.chain.send(
             self.account,
@@ -334,8 +356,16 @@ class UnifyFLAggregator:
         if mine and scored:
             self.chain.mine_until_empty()
         timing.scoring_time = self.timing.scoring_time(self.config, scored, algorithm=self.scorer.name)
-        timing.pull_time = self.timing.transfer_time(self.config.aggregator_profile, scored)
-        timing.chain_time = self.timing.chain_interaction_time(scored) if scored else 0.0
+        if self.comm is not None:
+            now = self.clock.now()
+            timing.pull_time = self.comm.download(self.name, scored, at=now)
+            timing.chain_time = self.comm.chain_op(
+                "submitScore", self.name, at=now + timing.pull_time + timing.scoring_time,
+                num_transactions=scored,
+            )
+        else:
+            timing.pull_time = self.timing.transfer_time(self.config.aggregator_profile, scored)
+            timing.chain_time = self.timing.chain_interaction_time(scored) if scored else 0.0
         self.clock.advance(timing.total_time)
         self._record_resources("scorer", cpu=self.config.aggregator_profile.train_cpu_percent * 0.3)
         self._scored_this_round = scored

@@ -195,6 +195,21 @@ class ExperimentConfig:
     block_period: float = 2.0
     #: sample resource usage for the Table 7 overhead report.
     monitor_resources: bool = True
+    #: model network transfers and contract calls as first-class event streams
+    #: (link contention + block-interval/consensus chain delays) instead of
+    #: per-interaction constants.  Off by default: constant-cost runs stay
+    #: bit-identical to previous releases for a fixed seed.
+    event_streams: bool = False
+    #: event streams only: bandwidth cap of each cluster↔storage link, in
+    #: megabytes per simulated second; ``None`` uses the cluster's hardware
+    #: profile bandwidth unchanged.
+    link_bandwidth_mbps: Optional[float] = None
+    #: event streams only: one-way latency override of every cluster↔storage
+    #: link, in simulated seconds; ``None`` uses the profile latency.
+    link_latency_s: Optional[float] = None
+    #: event streams only: seconds between block boundaries on the chain
+    #: actor's grid; ``None`` uses ``block_period``.
+    block_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("sync", "async", "semi"):
@@ -217,6 +232,12 @@ class ExperimentConfig:
         if len({c.name for c in self.clusters}) != len(self.clusters):
             raise ValueError("cluster names must be unique")
         validate_semi_params(self.semi_quorum_k, self.max_staleness, len(self.clusters))
+        if self.link_bandwidth_mbps is not None and self.link_bandwidth_mbps <= 0:
+            raise ValueError("link_bandwidth_mbps must be positive when set")
+        if self.link_latency_s is not None and self.link_latency_s < 0:
+            raise ValueError("link_latency_s must be non-negative when set")
+        if self.block_interval is not None and self.block_interval <= 0:
+            raise ValueError("block_interval must be positive when set")
 
     @property
     def num_clusters(self) -> int:

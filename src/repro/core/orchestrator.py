@@ -33,6 +33,7 @@ from repro.chain.account import Account
 from repro.chain.blockchain import Blockchain
 from repro.core.aggregator import AggregatorRoundRecord, UnifyFLAggregator
 from repro.core.timing import ClusterTimingModel
+from repro.sched.actors import CommFabric
 from repro.sched.kernel import SimulationKernel
 from repro.core.config import majority_quorum, validate_semi_params
 from repro.sched.policies import (
@@ -73,6 +74,7 @@ class _BaseOrchestrator:
         driver_account: Account,
         aggregators: Sequence[UnifyFLAggregator],
         timing_model: ClusterTimingModel,
+        comm: Optional[CommFabric] = None,
     ):
         if not aggregators:
             raise ValueError("an orchestrator needs at least one aggregator")
@@ -83,6 +85,9 @@ class _BaseOrchestrator:
         self.driver = driver_account
         self.aggregators = list(aggregators)
         self.timing = timing_model
+        #: event-stream communication fabric shared with the aggregators, or
+        #: ``None`` for the constant-cost timing path.
+        self.comm = comm
         self._idle_totals: Dict[str, float] = {a.name: 0.0 for a in aggregators}
         self._straggles: Dict[str, int] = {a.name: 0 for a in aggregators}
         self.kernel: Optional[SimulationKernel] = None
@@ -104,6 +109,7 @@ class _BaseOrchestrator:
             num_rounds=num_rounds,
             idle_totals=self._idle_totals,
             straggles=self._straggles,
+            comm=self.comm,
         )
 
     def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
@@ -147,8 +153,9 @@ class SyncOrchestrator(_BaseOrchestrator):
         training_window: Optional[float] = None,
         scoring_window: Optional[float] = None,
         scoring_algorithm: str = "accuracy",
+        comm: Optional[CommFabric] = None,
     ):
-        super().__init__(chain, driver_account, aggregators, timing_model)
+        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
         clusters = [a.config for a in aggregators]
         # ``is not None`` rather than truthiness: an explicit window of 0.0 is
         # a (degenerate but meaningful) operator choice, not "use the default".
@@ -191,8 +198,9 @@ class SemiSyncOrchestrator(_BaseOrchestrator):
         timing_model: ClusterTimingModel,
         quorum_k: Optional[int] = None,
         max_staleness: Optional[float] = None,
+        comm: Optional[CommFabric] = None,
     ):
-        super().__init__(chain, driver_account, aggregators, timing_model)
+        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
         clusters = [a.config for a in aggregators]
         # Default quorum: a majority of clusters, mirroring the scorer-majority
         # rule of the contract.  Default staleness bound: one provisioned sync

@@ -41,6 +41,7 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         "rounds": result.rounds,
         "chain_metrics": dict(result.chain_metrics),
         "storage_metrics": dict(result.storage_metrics),
+        "comm_metrics": dict(result.comm_metrics),
         "orchestration_extras": _jsonable(result.orchestration_extras),
         "resource_reports": {
             process: report.as_dict() for process, report in result.resource_reports.items()
@@ -72,6 +73,15 @@ def _aggregator_to_dict(aggregator: AggregatorResult) -> Dict:
                 "models_scored": record.models_scored,
                 "sim_time": record.sim_time,
                 "straggled": record.straggled,
+                "timing": {
+                    "pull_time": record.timing.pull_time,
+                    "client_training_time": record.timing.client_training_time,
+                    "aggregation_time": record.timing.aggregation_time,
+                    "store_time": record.timing.store_time,
+                    "chain_time": record.timing.chain_time,
+                    "scoring_time": record.timing.scoring_time,
+                    "idle_time": record.timing.idle_time,
+                },
             }
             for record in aggregator.history
         ],

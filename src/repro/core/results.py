@@ -55,6 +55,9 @@ class ExperimentResult:
     #: mode-specific annotations from the round policy (e.g. semi-sync
     #: quorum/staleness closure statistics).
     orchestration_extras: Dict[str, object] = field(default_factory=dict)
+    #: per-phase communication/chain accounting from the event-stream fabric
+    #: (empty unless the experiment ran with ``event_streams=True``).
+    comm_metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_global_accuracy(self) -> float:
@@ -105,6 +108,46 @@ def format_resource_table(reports: Dict[str, ResourceReport]) -> str:
         report = reports[process_type]
         lines.append(f"{process_type:<12}{'cpu %':<12}{report.cpu_mean:>12.3f}{report.cpu_std:>12.3f}")
         lines.append(f"{'':<12}{'mem (MB)':<12}{report.mem_mean_mb:>12.3f}{report.mem_std_mb:>12.3f}")
+    return "\n".join(lines)
+
+
+def format_comm_table(result: ExperimentResult) -> str:
+    """Render the event-stream per-phase communication / chain report.
+
+    Shows wire vs queued seconds for uploads and downloads, the finality wait
+    of each chain-interaction kind, and the block span — the observable cost
+    of modelling the middle tier as event streams rather than constants.
+    """
+    metrics = result.comm_metrics
+    if not metrics:
+        return "Communication report: run with event_streams=True to collect per-phase I/O."
+    header = f"{'Stream':<28}{'Time (s)':>12}{'Queued (s)':>12}{'Events':>10}"
+    lines = [f"Communication / chain event streams ({result.name})", header, "-" * len(header)]
+    for phase in ("upload", "download"):
+        if f"{phase}_time" in metrics:
+            lines.append(
+                f"{'network ' + phase:<28}{metrics[f'{phase}_time']:>12.2f}"
+                f"{metrics[f'{phase}_queued']:>12.2f}{metrics[f'{phase}_count']:>10.0f}"
+            )
+    kinds = sorted(
+        key[len("chain_wait_"):] for key in metrics if key.startswith("chain_wait_")
+    )
+    for kind in kinds:
+        lines.append(
+            f"{'chain ' + kind:<28}{metrics[f'chain_wait_{kind}']:>12.2f}"
+            f"{'—':>12}{metrics[f'chain_ops_{kind}']:>10.0f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total network':<28}{metrics.get('network_time', 0.0):>12.2f}"
+        f"{metrics.get('network_queued', 0.0):>12.2f}"
+        f"{metrics.get('upload_count', 0.0) + metrics.get('download_count', 0.0):>10.0f}"
+    )
+    lines.append(
+        f"{'total chain wait':<28}{metrics.get('chain_wait', 0.0):>12.2f}"
+        f"{'—':>12}{metrics.get('chain_ops', 0.0):>10.0f}"
+    )
+    lines.append(f"blocks spanned: {metrics.get('chain_blocks_spanned', 0.0):.0f}")
     return "\n".join(lines)
 
 

@@ -46,9 +46,12 @@ from repro.core.scorer import build_scorer
 from repro.core.timing import ClusterTimingModel
 from repro.datasets.partition import DirichletPartitioner, IIDPartitioner, ShardPartitioner
 from repro.datasets.synthetic import Dataset, SyntheticCIFAR10, SyntheticTinyImageNet
+from repro.chain.clique import consensus_delay
 from repro.fl.client import Client, ClientConfig
 from repro.ipfs.swarm import IPFSSwarm
 from repro.ml.models import Model, build_model
+from repro.sched.actors import STORAGE_ENDPOINT, ChainActor, CommFabric, NetworkActor
+from repro.simnet.network import NetworkLink, NetworkModel
 from repro.simnet.resources import ResourceMonitor
 
 #: constant daemon footprints reported in Section 4.2.7.
@@ -83,6 +86,8 @@ class ExperimentRunner:
         self.swarm: Optional[IPFSSwarm] = None
         self.aggregators: List[UnifyFLAggregator] = []
         self._driver_account: Optional[Account] = None
+        #: shared network/chain event-stream fabric (``event_streams=True`` only).
+        self.comm: Optional[CommFabric] = None
 
     # ------------------------------------------------------------------- data
     @staticmethod
@@ -174,6 +179,40 @@ class ExperimentRunner:
             )
         return clients
 
+    def _build_comm_fabric(self) -> Optional[CommFabric]:
+        """Stand up the event-stream fabric when the experiment asks for one.
+
+        The link topology mirrors the constant-cost model: every cluster talks
+        to the shared :data:`~repro.sched.actors.STORAGE_ENDPOINT` over a link
+        with its aggregator profile's latency/bandwidth (optionally capped by
+        ``link_bandwidth_mbps`` / overridden by ``link_latency_s``), so an
+        *uncontended* transfer costs exactly what the constant model charged —
+        only queueing and chain quantisation add time on top.
+        """
+        if not self.config.event_streams:
+            return None
+        network = NetworkModel()
+        for cluster in self.config.clusters:
+            profile = cluster.aggregator_profile
+            bandwidth = profile.bandwidth_mbps
+            if self.config.link_bandwidth_mbps is not None:
+                bandwidth = min(bandwidth, self.config.link_bandwidth_mbps)
+            latency = profile.latency_s
+            if self.config.link_latency_s is not None:
+                latency = self.config.link_latency_s
+            network.set_link(
+                cluster.name,
+                STORAGE_ENDPOINT,
+                NetworkLink(latency_s=latency, bandwidth_bytes_per_s=bandwidth * 1_000_000),
+            )
+        network_actor = NetworkActor(network, model_bytes=self.timing_model.nominal_model_bytes)
+        block_interval = self.config.block_interval or self.config.block_period
+        chain_actor = ChainActor(
+            block_interval=block_interval,
+            consensus_delay=consensus_delay(len(self.config.clusters), block_interval),
+        )
+        return CommFabric(network_actor, chain_actor)
+
     def build(self) -> None:
         """Instantiate the chain, storage swarm and every aggregator."""
         clusters = self.config.clusters
@@ -189,6 +228,11 @@ class ExperimentRunner:
             UnifyFLContract(mode=self.config.mode, scorer_seed=self.config.seed)
         )
         self.swarm = IPFSSwarm()
+        self.comm = self._build_comm_fabric()
+        if self.comm is not None:
+            # Chain-side emission hook: every sealed block feeds the chain
+            # actor's observed-block counters for the comm report.
+            self.chain.add_block_listener(self.comm.chain.observe_block)
 
         self.aggregators = []
         for i, cluster in enumerate(clusters):
@@ -213,6 +257,7 @@ class ExperimentRunner:
                 timing_model=self.timing_model,
                 attack=attack,
                 resource_monitor=self.monitor,
+                comm=self.comm,
                 seed=self.config.seed + i,
             )
             self.aggregators.append(aggregator)
@@ -240,14 +285,16 @@ class ExperimentRunner:
                 training_window=self.config.phase_duration,
                 scoring_window=self.config.phase_duration,
                 scoring_algorithm=self.config.scoring_algorithm,
+                comm=self.comm,
             )
         if mode == "async":
-            return AsyncOrchestrator(*common)
+            return AsyncOrchestrator(*common, comm=self.comm)
         if mode == "semi":
             return SemiSyncOrchestrator(
                 *common,
                 quorum_k=self.config.semi_quorum_k,
                 max_staleness=self.config.max_staleness,
+                comm=self.comm,
             )
         raise ValueError(f"unknown orchestration mode '{mode}'")
 
@@ -296,6 +343,7 @@ class ExperimentRunner:
             storage_metrics=storage_metrics,
             resource_reports=resource_reports,
             orchestration_extras=dict(orchestration.extras),
+            comm_metrics=self.comm.summary() if self.comm is not None else {},
         )
 
     def _policy_label(self, cluster: ClusterConfig) -> str:

@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chain.clique import TX_VALIDATION_COST_S
 from repro.core.config import ClusterConfig, WorkloadConfig
 from repro.simnet.hardware import HardwareProfile
 
@@ -107,7 +108,7 @@ class ClusterTimingModel:
 
     def chain_interaction_time(self, num_transactions: int = 1) -> float:
         """Latency of having transactions included in a Clique block."""
-        return max(0, num_transactions) * 0.05 + self.block_period
+        return max(0, num_transactions) * TX_VALIDATION_COST_S + self.block_period
 
     def scoring_time(self, cluster: ClusterConfig, num_models: int, algorithm: str = "accuracy") -> float:
         """Time for a scorer to evaluate ``num_models`` candidate models."""

@@ -11,10 +11,16 @@ quorum/staleness-bounded rounds (semi-sync).
   ordering, O(log n) dispatch.
 * :mod:`repro.sched.policies` — the three built-in round policies plus the
   :class:`~repro.sched.policies.RoundPolicy` base class for writing new ones.
+* :mod:`repro.sched.actors` — network and chain actors that promote model
+  transfers and contract calls to first-class event streams (link contention,
+  block-interval quantisation, Clique consensus delay), enabled per
+  experiment with ``event_streams=True``.
 
-See ``docs/scheduling.md`` for the design and a guide to custom policies.
+See ``docs/scheduling.md`` and ``docs/architecture.md`` for the design and a
+guide to custom policies.
 """
 
+from repro.sched.actors import ChainActor, ChainOp, CommFabric, NetworkActor
 from repro.sched.kernel import SimulationKernel
 from repro.sched.policies import (
     AsyncRoundPolicy,
@@ -27,6 +33,10 @@ from repro.sched.policies import (
 __all__ = [
     "SimulationKernel",
     "AsyncRoundPolicy",
+    "ChainActor",
+    "ChainOp",
+    "CommFabric",
+    "NetworkActor",
     "OrchestrationContext",
     "RoundPolicy",
     "SemiSyncRoundPolicy",

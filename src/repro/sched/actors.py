@@ -1,0 +1,297 @@
+"""Network and chain actors: middle-tier I/O as first-class event streams.
+
+Before this module existed, every model transfer and every contract call was
+a *constant* added to an aggregator's clock (``ClusterTimingModel``'s
+``transfer_time`` / ``chain_interaction_time``).  That hides two effects the
+middleware literature insists the middle tier must expose:
+
+* **Link contention** — several clusters pushing or pulling model weights
+  through the shared storage backbone queue behind each other.  The
+  :class:`NetworkActor` schedules each upload/download on a
+  :class:`~repro.simnet.network.LinkScheduler`, so a transfer's cost depends
+  on what else is in flight, not only on its size.
+* **Consensus latency** — a transaction is not final when it is sent; it is
+  final when the next Clique block seals it.  The :class:`ChainActor`
+  quantises every contract interaction to the block-interval grid and adds
+  the consensus delay of :func:`repro.chain.clique.consensus_delay`.
+
+Both actors keep an append-only event log, so a run can report *per-phase*
+communication and chain time (see ``CommFabric.summary``) instead of folding
+everything into one opaque number.  The round policies and the aggregator
+consume these streams when an experiment sets ``event_streams=True``; with
+the flag off (the default) the constant-cost path is untouched and runs stay
+bit-identical to previous releases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.clique import TX_VALIDATION_COST_S as TX_COST_S
+from repro.simnet.network import LinkScheduler, NetworkModel, ScheduledTransfer
+
+#: endpoint name of the storage swarm every cluster uploads to / downloads from.
+STORAGE_ENDPOINT = "storage"
+
+
+@dataclass(frozen=True)
+class ChainOp:
+    """One contract interaction placed on the chain's block timeline.
+
+    Attributes:
+        kind: what the interaction was (``"submitModel"``, ``"submitScore"``,
+            ``"closeSemiRound"``, ...), used for per-phase reporting.
+        endpoint: name of the actor that issued the transactions.
+        num_transactions: how many transactions the interaction bundles.
+        submitted_at: simulated time the transactions entered the pool.
+        sealed_at: simulated time the block carrying them became final
+            (block-interval boundary plus consensus delay).
+        block_index: index of the sealing block on the interval grid; two
+            interactions with the same index share a block.
+    """
+
+    kind: str
+    endpoint: str
+    num_transactions: int
+    submitted_at: float
+    sealed_at: float
+    block_index: int
+
+    @property
+    def delay(self) -> float:
+        """Seconds the caller waited from submission to finality."""
+        return self.sealed_at - self.submitted_at
+
+
+class NetworkActor:
+    """Schedules model-weight transfers as contended link events.
+
+    The actor owns a :class:`~repro.simnet.network.LinkScheduler` and the
+    notion of *where models live*: clusters upload to and download from the
+    shared :data:`STORAGE_ENDPOINT`.  Because the storage backbone is a
+    serial endpoint, simultaneous transfers from different clusters contend —
+    exactly the queueing the constant-cost model could not express.
+
+    Args:
+        network: link topology (per-pair latency/bandwidth with a default).
+        model_bytes: serialized size of one full-scale model; every transfer
+            moves a whole number of models.
+    """
+
+    def __init__(self, network: Optional[NetworkModel] = None, model_bytes: int = 1):
+        if model_bytes <= 0:
+            raise ValueError("model_bytes must be positive")
+        self.scheduler = LinkScheduler(network)
+        self.model_bytes = int(model_bytes)
+        #: transfers committed *through this actor*, each paired with its
+        #: phase label ("upload" / "download").  Owned here rather than
+        #: zipped against ``scheduler.log`` so direct commits on the public
+        #: scheduler cannot shift the labelling.
+        self._events: List[Tuple[ScheduledTransfer, str]] = []
+
+    # ------------------------------------------------------------------ streams
+    def upload(self, endpoint: str, num_models: int, at: float) -> float:
+        """Move ``num_models`` models from ``endpoint`` into storage.
+
+        Models are transferred one after another (each is a separate event on
+        the link), so other clusters' transfers can interleave between them.
+        Returns the total elapsed seconds the caller experienced.
+        """
+        return self._stream(endpoint, STORAGE_ENDPOINT, num_models, at, phase="upload")
+
+    def download(self, endpoint: str, num_models: int, at: float) -> float:
+        """Move ``num_models`` models from storage to ``endpoint``.
+
+        Returns the total elapsed seconds the caller experienced.
+        """
+        return self._stream(STORAGE_ENDPOINT, endpoint, num_models, at, phase="download")
+
+    def _stream(self, source: str, destination: str, num_models: int, at: float, phase: str) -> float:
+        if num_models <= 0:
+            return 0.0
+        cursor = at
+        for _ in range(num_models):
+            scheduled = self.scheduler.transfer(source, destination, self.model_bytes, cursor)
+            self._events.append((scheduled, phase))
+            cursor = scheduled.finished_at
+        return cursor - at
+
+    def estimate_upload(self, endpoint: str, at: float) -> float:
+        """Elapsed seconds a one-model upload requested ``at`` would take.
+
+        Pure: nothing is committed to the schedule.  Used by the sync policy's
+        straggler decision (can this cluster still make the window?).
+        """
+        return self.scheduler.estimate(endpoint, STORAGE_ENDPOINT, self.model_bytes, at)
+
+    # ---------------------------------------------------------------- reporting
+    def transfers(self, phase: Optional[str] = None) -> List[ScheduledTransfer]:
+        """Transfers committed through this actor, optionally phase-filtered."""
+        return [t for t, p in self._events if phase is None or p == phase]
+
+    def phase_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{"time": wire seconds, "queued": queued seconds, "count": n}``.
+
+        Every phase is always present (zeros when idle) so the exported
+        metrics schema is stable across runs.
+        """
+        totals: Dict[str, Dict[str, float]] = {
+            phase: {"time": 0.0, "queued": 0.0, "count": 0.0}
+            for phase in ("upload", "download")
+        }
+        for transfer, phase in self._events:
+            bucket = totals.setdefault(phase, {"time": 0.0, "queued": 0.0, "count": 0.0})
+            bucket["time"] += transfer.duration
+            bucket["queued"] += transfer.queued_time
+            bucket["count"] += 1.0
+        return totals
+
+
+class ChainActor:
+    """Schedules contract interactions on the block-interval grid.
+
+    Blocks seal at multiples of ``block_interval``; a transaction submitted
+    at time *t* pays a per-transaction validation cost, rides the next
+    boundary after it is ready, and becomes final ``consensus_delay`` seconds
+    later (Clique seal verification + amortised out-of-turn wiggle).  Two
+    interactions that are ready before the same boundary share a block — the
+    chain-time quantisation the constant-cost model flattened into a single
+    ``block_period`` constant.
+
+    Args:
+        block_interval: seconds between block boundaries (Clique ``period``).
+        consensus_delay: extra seconds from boundary to finality; see
+            :func:`repro.chain.clique.consensus_delay`.
+    """
+
+    def __init__(self, block_interval: float, consensus_delay: float = 0.0):
+        if block_interval <= 0:
+            raise ValueError("block_interval must be positive")
+        if consensus_delay < 0:
+            raise ValueError("consensus_delay must be non-negative")
+        self.block_interval = float(block_interval)
+        self.consensus_delay = float(consensus_delay)
+        #: append-only log of every committed interaction.
+        self.log: List[ChainOp] = []
+        #: blocks observed from the simulated chain via the emission hook
+        #: (:meth:`repro.chain.blockchain.Blockchain.add_block_listener`).
+        self.blocks_observed = 0
+        self.transactions_observed = 0
+
+    # ------------------------------------------------------------------ streams
+    def _seal(self, at: float, num_transactions: int) -> tuple[float, int]:
+        ready = at + max(0, num_transactions) * TX_COST_S
+        block_index = int(math.floor(ready / self.block_interval)) + 1
+        sealed = block_index * self.block_interval + self.consensus_delay
+        return sealed, block_index
+
+    def interact(self, kind: str, endpoint: str, at: float, num_transactions: int = 1) -> ChainOp:
+        """Commit ``num_transactions`` transactions submitted at time ``at``.
+
+        Returns the :class:`ChainOp` describing when they became final.
+        """
+        if at < 0:
+            raise ValueError("submission time must be non-negative")
+        sealed, block_index = self._seal(at, num_transactions)
+        op = ChainOp(
+            kind=kind,
+            endpoint=endpoint,
+            num_transactions=num_transactions,
+            submitted_at=at,
+            sealed_at=sealed,
+            block_index=block_index,
+        )
+        self.log.append(op)
+        return op
+
+    def estimate(self, at: float, num_transactions: int = 1) -> float:
+        """Finality delay of an interaction submitted ``at``, uncommitted."""
+        sealed, _ = self._seal(at, num_transactions)
+        return sealed - at
+
+    def observe_block(self, block) -> None:
+        """Block-listener callback: count blocks/transactions actually sealed."""
+        self.blocks_observed += 1
+        self.transactions_observed += len(getattr(block, "transactions", []))
+
+    # ---------------------------------------------------------------- reporting
+    def kind_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-kind ``{"wait": finality seconds, "count": n, "transactions": n}``."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for op in self.log:
+            bucket = totals.setdefault(op.kind, {"wait": 0.0, "count": 0.0, "transactions": 0.0})
+            bucket["wait"] += op.delay
+            bucket["count"] += 1.0
+            bucket["transactions"] += float(op.num_transactions)
+        return totals
+
+    @property
+    def blocks_spanned(self) -> int:
+        """Distinct block indices the committed interactions rode."""
+        return len({op.block_index for op in self.log})
+
+
+class CommFabric:
+    """The communication fabric: one facade over both event-stream actors.
+
+    An experiment with ``event_streams=True`` owns exactly one fabric; the
+    aggregators charge their pull/store/chain costs through it and the round
+    policies query it for submission estimates, so every byte moved and every
+    transaction sealed shares a single contended timeline.
+    """
+
+    def __init__(self, network_actor: NetworkActor, chain_actor: ChainActor):
+        self.network = network_actor
+        self.chain = chain_actor
+
+    # ------------------------------------------------------- aggregator-facing
+    def upload(self, endpoint: str, num_models: int, at: float) -> float:
+        """Elapsed seconds to push ``num_models`` models into storage."""
+        return self.network.upload(endpoint, num_models, at)
+
+    def download(self, endpoint: str, num_models: int, at: float) -> float:
+        """Elapsed seconds to fetch ``num_models`` models from storage."""
+        return self.network.download(endpoint, num_models, at)
+
+    def chain_op(self, kind: str, endpoint: str, at: float, num_transactions: int = 1) -> float:
+        """Elapsed seconds until ``num_transactions`` submitted ``at`` are final."""
+        if num_transactions <= 0:
+            return 0.0
+        return self.chain.interact(kind, endpoint, at, num_transactions).delay
+
+    # ----------------------------------------------------------- policy-facing
+    def estimate_submission(self, endpoint: str, at: float) -> float:
+        """Predicted cost of a full model submission (upload + finality).
+
+        Pure — used by :class:`~repro.sched.policies.SyncRoundPolicy` to
+        decide whether a cluster can still make the training window.
+        """
+        upload = self.network.estimate_upload(endpoint, at)
+        return upload + self.chain.estimate(at + upload, 1)
+
+    # ---------------------------------------------------------------- reporting
+    def summary(self) -> Dict[str, float]:
+        """Flat per-phase communication/chain accounting for result documents.
+
+        Keys are stable and JSON-friendly: ``upload_time`` / ``upload_queued``
+        / ``upload_count`` (ditto ``download_*``), ``chain_wait_<kind>`` and
+        ``chain_ops_<kind>`` per interaction kind, plus totals.
+        """
+        out: Dict[str, float] = {}
+        for phase, bucket in sorted(self.network.phase_totals().items()):
+            out[f"{phase}_time"] = bucket["time"]
+            out[f"{phase}_queued"] = bucket["queued"]
+            out[f"{phase}_count"] = bucket["count"]
+        out["network_time"] = self.network.scheduler.total_wire_time
+        out["network_queued"] = self.network.scheduler.total_queued_time
+        for kind, bucket in sorted(self.chain.kind_totals().items()):
+            out[f"chain_wait_{kind}"] = bucket["wait"]
+            out[f"chain_ops_{kind}"] = bucket["count"]
+        out["chain_wait"] = sum(op.delay for op in self.chain.log)
+        out["chain_ops"] = float(len(self.chain.log))
+        out["chain_blocks_spanned"] = float(self.chain.blocks_spanned)
+        out["chain_blocks_observed"] = float(self.chain.blocks_observed)
+        out["chain_transactions_observed"] = float(self.chain.transactions_observed)
+        return out

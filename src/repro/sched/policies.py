@@ -20,6 +20,14 @@ expresses it as events on a :class:`~repro.sched.kernel.SimulationKernel`:
 Writing a new mode means subclassing :class:`RoundPolicy`, scheduling initial
 events in :meth:`~RoundPolicy.install`, and letting handlers schedule their
 successors.  See ``docs/scheduling.md`` for a walk-through.
+
+When the :class:`OrchestrationContext` carries a
+:class:`~repro.sched.actors.CommFabric`, the policies consume the network and
+chain *event streams* instead of constant per-interaction costs: phase
+transitions wait for their transactions to seal, submission-cost predictions
+read the live link schedule, and the semi-sync quorum close releases waiters
+only at transaction finality.  Without a fabric every hook degenerates to a
+zero-cost no-op, preserving bit-identical constant-cost runs.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chain.blockchain import Blockchain
     from repro.core.aggregator import UnifyFLAggregator
     from repro.core.timing import ClusterTimingModel, RoundTiming
+    from repro.sched.actors import CommFabric
 
 
 @dataclass
@@ -52,8 +61,14 @@ class OrchestrationContext:
     #: shared per-aggregator accumulators, owned by the orchestrator facade.
     idle_totals: Dict[str, float] = field(default_factory=dict)
     straggles: Dict[str, int] = field(default_factory=dict)
+    #: the event-stream communication fabric, or ``None`` for constant costs.
+    #: When set, policies charge the driver's phase-control transactions
+    #: (startTraining / startScoring / endRound / closeSemiRound) as chain
+    #: events and predict submission costs from the live link schedule.
+    comm: Optional["CommFabric"] = None
 
     def add_idle(self, name: str, waited: float) -> None:
+        """Accumulate ``waited`` idle seconds against aggregator ``name``."""
         self.idle_totals[name] = self.idle_totals.get(name, 0.0) + waited
 
 
@@ -78,6 +93,24 @@ class RoundPolicy:
         return {}
 
     # ------------------------------------------------------------ shared steps
+    def _driver_chain_op(self, kind: str, at: float, num_transactions: int = 1) -> float:
+        """Charge one driver (orchestrator) transaction to the chain stream.
+
+        Returns the finality delay in event-stream mode, ``0.0`` in
+        constant-cost mode — phase-control transactions were always free
+        there, and staying free is what keeps default runs bit-identical.
+        """
+        if self.ctx.comm is None:
+            return 0.0
+        return self.ctx.comm.chain_op(kind, "driver", at=at, num_transactions=num_transactions)
+
+    def _submission_cost(self, aggregator: "UnifyFLAggregator") -> float:
+        """Predicted cost of submitting one model right now (store + finality)."""
+        if self.ctx.comm is not None:
+            return self.ctx.comm.estimate_submission(aggregator.name, aggregator.clock.now())
+        return self.ctx.timing.transfer_time(aggregator.config.aggregator_profile, 1) + \
+            self.ctx.timing.chain_interaction_time(1)
+
     def _free_running_round(self, aggregator: "UnifyFLAggregator", round_number: int) -> bool:
         """One self-paced cluster round (the async/semi work unit).
 
@@ -146,6 +179,7 @@ class SyncRoundPolicy(RoundPolicy):
         self._offline: Dict[str, bool] = {}
 
     def install(self, kernel: SimulationKernel) -> None:
+        """Schedule the first round start at the initial barrier time."""
         self.kernel = kernel
         barrier = max(a.clock.now() for a in self.ctx.aggregators)
         kernel.schedule_at(barrier, lambda: self._begin_round(1), key="sync-round")
@@ -157,18 +191,24 @@ class SyncRoundPolicy(RoundPolicy):
 
         assert self.kernel is not None
         barrier = max(a.clock.now() for a in self.ctx.aggregators)
-        for aggregator in self.ctx.aggregators:
-            waited = aggregator.clock.advance_to(barrier)
-            self.ctx.add_idle(aggregator.name, waited)
-
         self.ctx.chain.send(self.ctx.driver, "unifyfl", "startTraining")
         self.ctx.chain.mine_until_empty()
-        phase_start = barrier
+        # Event streams: training starts when the startTraining transaction is
+        # final on-chain, not the instant the driver broadcast it.
+        phase_start = barrier + self._driver_chain_op("startTraining", barrier)
+        barrier_waits: Dict[str, float] = {}
+        for aggregator in self.ctx.aggregators:
+            waited = aggregator.clock.advance_to(phase_start)
+            self.ctx.add_idle(aggregator.name, waited)
+            barrier_waits[aggregator.name] = waited
         self._round_timings = {}
         self._straggled = {}
         self._offline = {}
         for aggregator in self.ctx.aggregators:
-            timing = RoundTiming()
+            # The wait for the barrier / startTraining finality belongs to this
+            # round's books (zero in constant-cost mode, where clusters are
+            # already aligned when a round begins).
+            timing = RoundTiming(idle_time=barrier_waits[aggregator.name])
             # Fault injection: an unavailable organisation sits the round out.
             if not aggregator.is_available():
                 self._offline[aggregator.name] = True
@@ -188,8 +228,7 @@ class SyncRoundPolicy(RoundPolicy):
             timing.aggregation_time += pull_timing.aggregation_time + train_timing.aggregation_time
             timing.client_training_time += train_timing.client_training_time
             elapsed = aggregator.clock.now() - phase_start
-            submit_cost = self.ctx.timing.transfer_time(aggregator.config.aggregator_profile, 1) + \
-                self.ctx.timing.chain_interaction_time(1)
+            submit_cost = self._submission_cost(aggregator)
             if elapsed + submit_cost <= self.training_window:
                 _, submit_timing = aggregator.submit_local_model()
                 timing.store_time += submit_timing.store_time
@@ -212,13 +251,15 @@ class SyncRoundPolicy(RoundPolicy):
         """Training window elapses: everyone idles to it, scoring begins."""
         assert self.kernel is not None
         window_end = self.kernel.now()
+        self.ctx.chain.send(self.ctx.driver, "unifyfl", "startScoring")
+        self.ctx.chain.mine_until_empty()
+        # Event streams: scoring starts once startScoring is sealed on-chain.
+        scoring_start = window_end + self._driver_chain_op("startScoring", window_end)
         for aggregator in self.ctx.aggregators:
-            waited = aggregator.clock.advance_to(window_end)
+            waited = aggregator.clock.advance_to(scoring_start)
             self.ctx.add_idle(aggregator.name, waited)
             self._round_timings[aggregator.name].idle_time += waited
 
-        self.ctx.chain.send(self.ctx.driver, "unifyfl", "startScoring")
-        self.ctx.chain.mine_until_empty()
         for aggregator in self.ctx.aggregators:
             if self._offline.get(aggregator.name, False):
                 continue
@@ -229,7 +270,7 @@ class SyncRoundPolicy(RoundPolicy):
             timing.chain_time += score_timing.chain_time
 
         self.kernel.schedule_at(
-            window_end + self.scoring_window,
+            scoring_start + self.scoring_window,
             lambda: self._close_scoring(round_number),
             key="sync-round",
         )
@@ -238,13 +279,15 @@ class SyncRoundPolicy(RoundPolicy):
         """Scoring window elapses: close the round and start the next one."""
         assert self.kernel is not None
         scoring_end = self.kernel.now()
-        for aggregator in self.ctx.aggregators:
-            waited = aggregator.clock.advance_to(scoring_end)
-            self.ctx.add_idle(aggregator.name, waited)
-            self._round_timings[aggregator.name].idle_time += waited
-
         self.ctx.chain.send(self.ctx.driver, "unifyfl", "endRound")
         self.ctx.chain.mine_until_empty()
+        # Event streams: the round (and its reward bookkeeping) is only over
+        # once the endRound transaction is sealed.
+        round_end = scoring_end + self._driver_chain_op("endRound", scoring_end)
+        for aggregator in self.ctx.aggregators:
+            waited = aggregator.clock.advance_to(round_end)
+            self.ctx.add_idle(aggregator.name, waited)
+            self._round_timings[aggregator.name].idle_time += waited
 
         for aggregator in self.ctx.aggregators:
             aggregator.record_round(
@@ -271,6 +314,7 @@ class AsyncRoundPolicy(RoundPolicy):
         self.rounds_done: Dict[str, int] = {a.name: 0 for a in ctx.aggregators}
 
     def install(self, kernel: SimulationKernel) -> None:
+        """Arm every cluster's first activation at its own local clock."""
         self.kernel = kernel
         for aggregator in self.ctx.aggregators:
             kernel.schedule_at(
@@ -294,6 +338,7 @@ class AsyncRoundPolicy(RoundPolicy):
             )
 
     def finalize(self) -> None:
+        """Drain leftover assigned scoring once every cluster finished."""
         self._drain_scoring()
 
 
@@ -346,11 +391,15 @@ class SemiSyncRoundPolicy(RoundPolicy):
 
     # ----------------------------------------------------------------- install
     def install(self, kernel: SimulationKernel) -> None:
+        """Configure the contract's quorum, arm every cluster and the timeout."""
         self.kernel = kernel
         self.ctx.chain.send(
             self.ctx.driver, "unifyfl", "configureSemiRound", {"quorum_k": self.quorum_k}
         )
         self.ctx.chain.mine_until_empty()
+        # Recorded for the chain accounting; nobody waits on the configuration
+        # transaction (clusters start from their own clocks regardless).
+        self._driver_chain_op("configureSemiRound", 0.0)
         for aggregator in self.ctx.aggregators:
             kernel.schedule_at(
                 aggregator.clock.now(),
@@ -455,6 +504,10 @@ class SemiSyncRoundPolicy(RoundPolicy):
             self.ctx.driver, "unifyfl", "closeSemiRound", {"timestamp": close_time}
         )
         self.ctx.chain.mine_until_empty()
+        # Event streams: blocked clusters only learn of the close once the
+        # closeSemiRound transaction is sealed — the quorum close is itself a
+        # chain event, so its consensus latency is part of their wait.
+        release_time = close_time + self._driver_chain_op("closeSemiRound", close_time)
         self.closures.append((status["round"], close_time, reason, self._landed))
         self._landed = 0
         self._deadline_passed = False
@@ -468,7 +521,7 @@ class SemiSyncRoundPolicy(RoundPolicy):
 
         blocked = [self._blocked.pop(name) for name in sorted(self._blocked)]
         for aggregator in blocked:
-            waited = aggregator.clock.advance_to(close_time)
+            waited = aggregator.clock.advance_to(release_time)
             self.ctx.add_idle(aggregator.name, waited)
             if aggregator.history:
                 aggregator.history[-1].timing.idle_time += waited
@@ -479,9 +532,11 @@ class SemiSyncRoundPolicy(RoundPolicy):
 
     # ----------------------------------------------------------------- results
     def finalize(self) -> None:
+        """Drain leftover assigned scoring once every cluster finished."""
         self._drain_scoring()
 
     def extras(self) -> Dict[str, object]:
+        """Quorum/staleness closure statistics for the result document."""
         quorum = sum(1 for c in self.closures if c[2] == "quorum")
         staleness = sum(1 for c in self.closures if c[2] == "staleness")
         return {

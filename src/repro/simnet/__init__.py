@@ -11,7 +11,9 @@ containers).  This package provides the simulated equivalent:
 * :mod:`repro.simnet.hardware` — device profiles with relative training
   throughput, used to model stragglers and heterogeneity.
 * :mod:`repro.simnet.network` — latency/bandwidth links used for model
-  transfer times to and from the storage layer.
+  transfer times to and from the storage layer, plus the
+  :class:`~repro.simnet.network.LinkScheduler` that adds FIFO endpoint
+  contention for the event-stream mode.
 * :mod:`repro.simnet.resources` — CPU / memory usage accounting producing the
   paper's Table 7 system-overhead metrics.
 """
@@ -27,7 +29,7 @@ from repro.simnet.hardware import (
     HardwareProfile,
     profile_by_name,
 )
-from repro.simnet.network import NetworkLink, NetworkModel
+from repro.simnet.network import LinkScheduler, NetworkLink, NetworkModel, ScheduledTransfer
 from repro.simnet.resources import ProcessSample, ResourceMonitor, ResourceReport
 
 __all__ = [
@@ -41,8 +43,10 @@ __all__ = [
     "RASPBERRY_PI_400",
     "HardwareProfile",
     "profile_by_name",
+    "LinkScheduler",
     "NetworkLink",
     "NetworkModel",
+    "ScheduledTransfer",
     "ProcessSample",
     "ResourceMonitor",
     "ResourceReport",

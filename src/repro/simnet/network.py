@@ -1,9 +1,24 @@
-"""Point-to-point network model for model-weight transfers."""
+"""Point-to-point network model for model-weight transfers.
+
+Two levels of fidelity live here:
+
+* :class:`NetworkLink` / :class:`NetworkModel` — closed-form transfer costs
+  (``latency + bytes / bandwidth``) with per-pair link overrides.  This is the
+  constant-cost model every experiment uses by default.
+* :class:`LinkScheduler` — FIFO contention on top of the same links.  Each
+  endpoint is a serial resource: a transfer occupies both its source and its
+  destination until it completes, so concurrent transfers that share an
+  endpoint (for example several clusters pushing models into the storage
+  swarm) queue behind each other instead of magically overlapping.  The
+  event-stream actors in :mod:`repro.sched.actors` build on this to turn
+  network I/O into first-class simulation events.
+"""
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -53,3 +68,150 @@ class NetworkModel:
     def transfer_time(self, source: str, destination: str, num_bytes: int) -> float:
         """Seconds to move a payload from ``source`` to ``destination``."""
         return self.link(source, destination).transfer_time(num_bytes)
+
+
+@dataclass(frozen=True)
+class ScheduledTransfer:
+    """One transfer placed on the contended network timeline.
+
+    Attributes:
+        source: sending endpoint name.
+        destination: receiving endpoint name.
+        num_bytes: payload size.
+        requested_at: simulated time the caller asked for the transfer.
+        started_at: time the transfer actually began (``>= requested_at`` when
+            either endpoint was busy).
+        finished_at: time the last byte arrived.
+    """
+
+    source: str
+    destination: str
+    num_bytes: int
+    requested_at: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def queued_time(self) -> float:
+        """Seconds the transfer waited for a busy endpoint before starting."""
+        return self.started_at - self.requested_at
+
+    @property
+    def duration(self) -> float:
+        """Pure wire time (latency + serialisation), excluding queueing."""
+        return self.finished_at - self.started_at
+
+    @property
+    def elapsed(self) -> float:
+        """Total time the caller experienced: queueing plus wire time."""
+        return self.finished_at - self.requested_at
+
+
+class LinkScheduler:
+    """Serial-endpoint contention over a :class:`NetworkModel`.
+
+    Each endpoint (cluster uplink, storage swarm backbone, ...) can carry one
+    transfer at a time; a transfer occupies *both* endpoints for its
+    duration.  Reservations are gap-filling: a transfer takes the earliest
+    slot at or after its request time where both endpoints are free, so it
+    only queues behind transfers it genuinely overlaps in simulated time —
+    not behind whatever happened to be committed first.  (The discrete-event
+    kernel executes a whole cluster round atomically, so a fast cluster's
+    late-round transfers are committed before a slow cluster's early-round
+    ones; first-fit placement keeps the schedule causal anyway.)
+
+    The wire time of an uncontended transfer is exactly
+    ``NetworkModel.transfer_time`` — enabling contention never makes an
+    isolated transfer slower, it only delays transfers that overlap.
+    """
+
+    def __init__(self, network: Optional[NetworkModel] = None):
+        self.network = network or NetworkModel()
+        #: sorted, non-overlapping busy intervals per endpoint.
+        self._busy: Dict[str, List[Tuple[float, float]]] = {}
+        #: committed transfers, in request order (the transfer event log).
+        self.log: List[ScheduledTransfer] = []
+
+    def busy_intervals(self, endpoint: str) -> List[Tuple[float, float]]:
+        """The committed ``(start, end)`` reservations of one endpoint."""
+        return list(self._busy.get(endpoint, []))
+
+    def _conflict_end(self, endpoint: str, start: float, duration: float) -> Optional[float]:
+        """End of the first reservation overlapping ``[start, start+duration)``.
+
+        Endpoint intervals are sorted and non-overlapping, so a bisect finds
+        the first interval that could still be running at ``start`` in
+        O(log n); ``None`` means the slot is free.
+        """
+        intervals = self._busy.get(endpoint)
+        if not intervals:
+            return None
+        index = bisect.bisect_right(intervals, (start, float("inf")))
+        if index and intervals[index - 1][1] > start:
+            index -= 1
+        if index < len(intervals) and intervals[index][0] < start + duration:
+            return intervals[index][1]
+        return None
+
+    def _earliest_start(self, endpoints: List[str], at: float, duration: float) -> float:
+        """First time ``>= at`` where every endpoint is free for ``duration``."""
+        start = at
+        moved = True
+        while moved:
+            moved = False
+            for endpoint in endpoints:
+                conflict_end = self._conflict_end(endpoint, start, duration)
+                if conflict_end is not None:
+                    # Overlaps a reservation: jump past it and re-check every
+                    # endpoint from the new start.
+                    start = conflict_end
+                    moved = True
+                    break
+        return start
+
+    def _plan(self, source: str, destination: str, num_bytes: int, at: float) -> ScheduledTransfer:
+        duration = self.network.transfer_time(source, destination, num_bytes)
+        endpoints = [source] if source == destination else [source, destination]
+        start = self._earliest_start(endpoints, at, duration)
+        return ScheduledTransfer(
+            source=source,
+            destination=destination,
+            num_bytes=num_bytes,
+            requested_at=at,
+            started_at=start,
+            finished_at=start + duration,
+        )
+
+    def estimate(self, source: str, destination: str, num_bytes: int, at: float) -> float:
+        """Elapsed seconds a transfer requested ``at`` would take, uncommitted.
+
+        Used by round policies that must *predict* a submission cost (the sync
+        straggler decision) without reserving the link.
+        """
+        return self._plan(source, destination, num_bytes, at).elapsed
+
+    def transfer(self, source: str, destination: str, num_bytes: int, at: float) -> ScheduledTransfer:
+        """Commit a transfer requested at time ``at`` and return its schedule.
+
+        The transfer reserves the earliest adequate gap on both endpoints;
+        transfers that overlap it in time queue into later gaps.
+        """
+        if at < 0:
+            raise ValueError("transfer request time must be non-negative")
+        scheduled = self._plan(source, destination, num_bytes, at)
+        interval = (scheduled.started_at, scheduled.finished_at)
+        endpoints = {source, destination}
+        for endpoint in endpoints:
+            bisect.insort(self._busy.setdefault(endpoint, []), interval)
+        self.log.append(scheduled)
+        return scheduled
+
+    @property
+    def total_queued_time(self) -> float:
+        """Seconds transfers spent waiting for busy endpoints, summed."""
+        return sum(t.queued_time for t in self.log)
+
+    @property
+    def total_wire_time(self) -> float:
+        """Pure transfer time (no queueing) of every committed transfer."""
+        return sum(t.duration for t in self.log)

@@ -36,6 +36,7 @@ class ResourceReport:
     sample_count: int
 
     def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly view of the report (used by the result exporters)."""
         return {
             "cpu_mean": self.cpu_mean,
             "cpu_std": self.cpu_std,
