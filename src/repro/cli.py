@@ -88,9 +88,14 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         semi_quorum_k=args.semi_quorum_k,
         max_staleness=args.max_staleness,
         event_streams=args.event_streams,
-        link_bandwidth_mbps=args.link_bandwidth,
+        link_bandwidth_mbytes_per_s=args.link_bandwidth,
         link_latency_s=args.link_latency,
         block_interval=args.block_interval,
+        storage_replicas=args.storage_replicas,
+        replica_capacity=args.replica_capacity,
+        replica_selection=args.replica_selection,
+        wan_latency_s=args.wan_latency,
+        wan_bandwidth_mbytes_per_s=args.wan_bandwidth,
     )
 
 
@@ -126,8 +131,8 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--link-bandwidth", type=float, default=None, dest="link_bandwidth",
-        help="event streams: cap each cluster's storage link at this many MB per "
-        "simulated second (default: the hardware profile's bandwidth)",
+        help="event streams: cap each cluster's storage link at this many megabytes "
+        "(not megabits) per simulated second (default: the hardware profile's bandwidth)",
     )
     parser.add_argument(
         "--link-latency", type=float, default=None, dest="link_latency",
@@ -137,6 +142,31 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--block-interval", type=float, default=None, dest="block_interval",
         help="event streams: seconds between chain block boundaries (default: the "
         "experiment's block period)",
+    )
+    parser.add_argument(
+        "--storage-replicas", type=int, default=1, dest="storage_replicas",
+        help="event streams: number of storage replica sites (default 1: the single "
+        "shared endpoint); clusters are assigned to sites round-robin",
+    )
+    parser.add_argument(
+        "--replica-capacity", type=int, default=1, dest="replica_capacity",
+        help="event streams: parallel transfers each storage replica serves at once",
+    )
+    parser.add_argument(
+        "--replica-selection", choices=["affinity", "least-loaded"], default="affinity",
+        dest="replica_selection",
+        help="event streams: replica picked per transfer — the cluster's own site "
+        "(affinity) or the deterministically least-loaded one",
+    )
+    parser.add_argument(
+        "--wan-latency", type=float, default=0.05, dest="wan_latency",
+        help="event streams: one-way latency of the WAN link between replica sites, "
+        "in seconds",
+    )
+    parser.add_argument(
+        "--wan-bandwidth", type=float, default=50.0, dest="wan_bandwidth",
+        help="event streams: bandwidth of the WAN link between replica sites, in "
+        "megabytes (not megabits) per simulated second",
     )
 
 

@@ -9,6 +9,7 @@ orchestration mode (Sync / Async), per-aggregator aggregation strategy
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -201,8 +202,11 @@ class ExperimentConfig:
     #: bit-identical to previous releases for a fixed seed.
     event_streams: bool = False
     #: event streams only: bandwidth cap of each cluster↔storage link, in
-    #: megabytes per simulated second; ``None`` uses the cluster's hardware
-    #: profile bandwidth unchanged.
+    #: mega**bytes** per simulated second (1 MB = 1e6 bytes); ``None`` uses
+    #: the cluster's hardware profile bandwidth unchanged.
+    link_bandwidth_mbytes_per_s: Optional[float] = None
+    #: deprecated alias of ``link_bandwidth_mbytes_per_s`` (the unit was
+    #: always megabytes/s despite the Mbps-looking name).
     link_bandwidth_mbps: Optional[float] = None
     #: event streams only: one-way latency override of every cluster↔storage
     #: link, in simulated seconds; ``None`` uses the profile latency.
@@ -210,6 +214,24 @@ class ExperimentConfig:
     #: event streams only: seconds between block boundaries on the chain
     #: actor's grid; ``None`` uses ``block_period``.
     block_interval: Optional[float] = None
+    #: event streams only: number of storage replicas models are distributed
+    #: to.  1 keeps the single shared endpoint; with more, clusters are
+    #: assigned to replica sites round-robin and reach remote sites over WAN
+    #: links.
+    storage_replicas: int = 1
+    #: event streams only: parallel transfers each storage replica can serve
+    #: at once (the LinkScheduler endpoint capacity).
+    replica_capacity: int = 1
+    #: event streams only: how the network actor picks a replica per
+    #: transfer — "affinity" (the cluster's own site) or "least-loaded"
+    #: (deterministic smallest backlog per capacity slot).
+    replica_selection: str = "affinity"
+    #: event streams only: one-way latency of the WAN link between two
+    #: replica sites, in simulated seconds.
+    wan_latency_s: float = 0.05
+    #: event streams only: bandwidth of the WAN link between two replica
+    #: sites, in megabytes per simulated second.
+    wan_bandwidth_mbytes_per_s: float = 50.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("sync", "async", "semi"):
@@ -232,12 +254,31 @@ class ExperimentConfig:
         if len({c.name for c in self.clusters}) != len(self.clusters):
             raise ValueError("cluster names must be unique")
         validate_semi_params(self.semi_quorum_k, self.max_staleness, len(self.clusters))
-        if self.link_bandwidth_mbps is not None and self.link_bandwidth_mbps <= 0:
-            raise ValueError("link_bandwidth_mbps must be positive when set")
+        if self.link_bandwidth_mbps is not None:
+            warnings.warn(
+                "link_bandwidth_mbps is deprecated (the unit is megabytes/s); "
+                "use link_bandwidth_mbytes_per_s",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.link_bandwidth_mbytes_per_s is None:
+                self.link_bandwidth_mbytes_per_s = self.link_bandwidth_mbps
+        if self.link_bandwidth_mbytes_per_s is not None and self.link_bandwidth_mbytes_per_s <= 0:
+            raise ValueError("link_bandwidth_mbytes_per_s must be positive when set")
         if self.link_latency_s is not None and self.link_latency_s < 0:
             raise ValueError("link_latency_s must be non-negative when set")
         if self.block_interval is not None and self.block_interval <= 0:
             raise ValueError("block_interval must be positive when set")
+        if self.storage_replicas < 1:
+            raise ValueError("storage_replicas must be at least 1")
+        if self.replica_capacity < 1:
+            raise ValueError("replica_capacity must be at least 1")
+        if self.replica_selection not in ("affinity", "least-loaded"):
+            raise ValueError("replica_selection must be 'affinity' or 'least-loaded'")
+        if self.wan_latency_s < 0:
+            raise ValueError("wan_latency_s must be non-negative")
+        if self.wan_bandwidth_mbytes_per_s <= 0:
+            raise ValueError("wan_bandwidth_mbytes_per_s must be positive")
 
     @property
     def num_clusters(self) -> int:

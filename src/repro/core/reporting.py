@@ -129,6 +129,11 @@ _CSV_COLUMNS = [
     "global_loss",
     "local_accuracy",
     "local_loss",
+    # Run-level event-stream totals (repeated on every aggregator row; empty
+    # for constant-cost runs) so topology sweeps can compare queueing from the
+    # flat CSV alone.
+    "network_queued_s",
+    "chain_wait_s",
 ]
 
 
@@ -140,9 +145,12 @@ def save_results_csv(results: Iterable[ExperimentResult], path: PathLike) -> Pat
         writer = csv.DictWriter(handle, fieldnames=_CSV_COLUMNS)
         writer.writeheader()
         for result in results:
+            comm = result.comm_metrics
             for aggregator in result.aggregators:
                 writer.writerow(
                     {
+                        "network_queued_s": f"{comm['network_queued']:.3f}" if comm else "",
+                        "chain_wait_s": f"{comm['chain_wait']:.3f}" if comm else "",
                         "experiment": result.name,
                         "mode": result.mode,
                         "partitioning": result.partitioning,

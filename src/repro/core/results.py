@@ -129,6 +129,17 @@ def format_comm_table(result: ExperimentResult) -> str:
                 f"{'network ' + phase:<28}{metrics[f'{phase}_time']:>12.2f}"
                 f"{metrics[f'{phase}_queued']:>12.2f}{metrics[f'{phase}_count']:>10.0f}"
             )
+    replicas = sorted(
+        key[len("replica_"):-len("_time")]
+        for key in metrics
+        if key.startswith("replica_") and key.endswith("_time")
+    )
+    for replica in replicas:
+        lines.append(
+            f"{'replica ' + replica:<28}{metrics[f'replica_{replica}_time']:>12.2f}"
+            f"{metrics[f'replica_{replica}_queued']:>12.2f}"
+            f"{metrics[f'replica_{replica}_count']:>10.0f}"
+        )
     kinds = sorted(
         key[len("chain_wait_"):] for key in metrics if key.startswith("chain_wait_")
     )

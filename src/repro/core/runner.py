@@ -51,7 +51,7 @@ from repro.fl.client import Client, ClientConfig
 from repro.ipfs.swarm import IPFSSwarm
 from repro.ml.models import Model, build_model
 from repro.sched.actors import STORAGE_ENDPOINT, ChainActor, CommFabric, NetworkActor
-from repro.simnet.network import NetworkLink, NetworkModel
+from repro.simnet.network import NetworkLink, Topology
 from repro.simnet.resources import ResourceMonitor
 
 #: constant daemon footprints reported in Section 4.2.7.
@@ -182,34 +182,63 @@ class ExperimentRunner:
     def _build_comm_fabric(self) -> Optional[CommFabric]:
         """Stand up the event-stream fabric when the experiment asks for one.
 
-        The link topology mirrors the constant-cost model: every cluster talks
-        to the shared :data:`~repro.sched.actors.STORAGE_ENDPOINT` over a link
-        with its aggregator profile's latency/bandwidth (optionally capped by
-        ``link_bandwidth_mbps`` / overridden by ``link_latency_s``), so an
-        *uncontended* transfer costs exactly what the constant model charged —
-        only queueing and chain quantisation add time on top.
+        The storage layout is a :class:`~repro.simnet.network.Topology`:
+        ``storage_replicas`` replica sites (each serving ``replica_capacity``
+        parallel transfers), clusters assigned to sites round-robin over a LAN
+        link with their aggregator profile's latency/bandwidth (optionally
+        capped by ``link_bandwidth_mbytes_per_s`` / overridden by
+        ``link_latency_s``), and WAN links between sites
+        (``wan_latency_s`` / ``wan_bandwidth_mbytes_per_s``).  With one
+        replica of capacity 1 this degenerates to the single serial
+        :data:`~repro.sched.actors.STORAGE_ENDPOINT` of earlier releases,
+        bit-identically: an *uncontended* transfer costs exactly what the
+        constant model charged — only queueing and chain quantisation add
+        time on top.
         """
-        if not self.config.event_streams:
+        config = self.config
+        if not config.event_streams:
             return None
-        network = NetworkModel()
-        for cluster in self.config.clusters:
+        topology = Topology(
+            default_wan_link=NetworkLink(
+                latency_s=config.wan_latency_s,
+                bandwidth_bytes_per_s=config.wan_bandwidth_mbytes_per_s * 1_000_000,
+            )
+        )
+        num_replicas = config.storage_replicas
+        if num_replicas == 1:
+            replica_names = [STORAGE_ENDPOINT]
+        else:
+            replica_names = [f"{STORAGE_ENDPOINT}-{i}" for i in range(num_replicas)]
+        for name in replica_names:
+            topology.add_replica(name, capacity=config.replica_capacity)
+        for i, cluster in enumerate(config.clusters):
             profile = cluster.aggregator_profile
-            bandwidth = profile.bandwidth_mbps
-            if self.config.link_bandwidth_mbps is not None:
-                bandwidth = min(bandwidth, self.config.link_bandwidth_mbps)
+            bandwidth = profile.bandwidth_mbytes_per_s
+            if config.link_bandwidth_mbytes_per_s is not None:
+                bandwidth = min(bandwidth, config.link_bandwidth_mbytes_per_s)
             latency = profile.latency_s
-            if self.config.link_latency_s is not None:
-                latency = self.config.link_latency_s
-            network.set_link(
+            if config.link_latency_s is not None:
+                latency = config.link_latency_s
+            topology.add_cluster(
                 cluster.name,
-                STORAGE_ENDPOINT,
+                replica_names[i % num_replicas],
                 NetworkLink(latency_s=latency, bandwidth_bytes_per_s=bandwidth * 1_000_000),
             )
-        network_actor = NetworkActor(network, model_bytes=self.timing_model.nominal_model_bytes)
-        block_interval = self.config.block_interval or self.config.block_period
+        network_actor = NetworkActor(
+            topology=topology,
+            model_bytes=self.timing_model.nominal_model_bytes,
+            selection=config.replica_selection,
+        )
+        # ``is not None`` rather than truthiness: an explicit block_interval of
+        # 0 is rejected by config validation, but the same falsy-zero trap bit
+        # the sync windows once already — don't leave it armed here.
+        if config.block_interval is not None:
+            block_interval = config.block_interval
+        else:
+            block_interval = config.block_period
         chain_actor = ChainActor(
             block_interval=block_interval,
-            consensus_delay=consensus_delay(len(self.config.clusters), block_interval),
+            consensus_delay=consensus_delay(len(config.clusters), block_interval),
         )
         return CommFabric(network_actor, chain_actor)
 

@@ -99,7 +99,7 @@ class ClusterTimingModel:
 
     def aggregation_time(self, cluster: ClusterConfig, num_models: int) -> float:
         """Time for the aggregator to average ``num_models`` weight sets."""
-        per_model = self.nominal_model_bytes / (cluster.aggregator_profile.bandwidth_mbps * 4e6)
+        per_model = self.nominal_model_bytes / (cluster.aggregator_profile.bandwidth_mbytes_per_s * 4e6)
         return 0.2 + max(0, num_models) * max(per_model, 0.05)
 
     def transfer_time(self, profile: HardwareProfile, num_models: int = 1) -> float:
@@ -116,7 +116,7 @@ class ClusterTimingModel:
             return 0.0
         if algorithm in ("multikrum", "cosine"):
             # Similarity computation over flattened weights: cheap, bandwidth-bound.
-            per_model = self.nominal_model_bytes / (cluster.aggregator_profile.bandwidth_mbps * 20e6)
+            per_model = self.nominal_model_bytes / (cluster.aggregator_profile.bandwidth_mbytes_per_s * 20e6)
             return num_models * max(per_model, 0.05)
         test_samples = self.workload.nominal_test_samples
         per_model = (

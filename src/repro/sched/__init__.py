@@ -12,9 +12,9 @@ quorum/staleness-bounded rounds (semi-sync).
 * :mod:`repro.sched.policies` — the three built-in round policies plus the
   :class:`~repro.sched.policies.RoundPolicy` base class for writing new ones.
 * :mod:`repro.sched.actors` — network and chain actors that promote model
-  transfers and contract calls to first-class event streams (link contention,
-  block-interval quantisation, Clique consensus delay), enabled per
-  experiment with ``event_streams=True``.
+  transfers and contract calls to first-class event streams (link contention
+  over a replicated storage topology, block-interval quantisation, Clique
+  consensus delay), enabled per experiment with ``event_streams=True``.
 
 See ``docs/scheduling.md`` and ``docs/architecture.md`` for the design and a
 guide to custom policies.

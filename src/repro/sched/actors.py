@@ -6,10 +6,14 @@ a *constant* added to an aggregator's clock (``ClusterTimingModel``'s
 middleware literature insists the middle tier must expose:
 
 * **Link contention** — several clusters pushing or pulling model weights
-  through the shared storage backbone queue behind each other.  The
+  through the shared storage fabric queue behind each other.  The
   :class:`NetworkActor` schedules each upload/download on a
   :class:`~repro.simnet.network.LinkScheduler`, so a transfer's cost depends
-  on what else is in flight, not only on its size.
+  on what else is in flight, not only on its size.  With a
+  :class:`~repro.simnet.network.Topology` the fabric is a set of storage
+  *replicas* with parallel capacity and WAN links between sites, and the
+  actor picks a replica per transfer (cluster affinity or deterministic
+  least-loaded).
 * **Consensus latency** — a transaction is not final when it is sent; it is
   final when the next Clique block seals it.  The :class:`ChainActor`
   quantises every contract interaction to the block-interval grid and adds
@@ -30,10 +34,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.chain.clique import TX_VALIDATION_COST_S as TX_COST_S
-from repro.simnet.network import LinkScheduler, NetworkModel, ScheduledTransfer
+from repro.simnet.network import LinkScheduler, NetworkModel, ScheduledTransfer, Topology
 
-#: endpoint name of the storage swarm every cluster uploads to / downloads from.
+#: endpoint name of the storage swarm in the single-replica (default) layout.
 STORAGE_ENDPOINT = "storage"
+
+#: replica-selection policies understood by :class:`NetworkActor`.
+REPLICA_SELECTIONS = ("affinity", "least-loaded")
 
 
 @dataclass(frozen=True)
@@ -69,27 +76,77 @@ class NetworkActor:
     """Schedules model-weight transfers as contended link events.
 
     The actor owns a :class:`~repro.simnet.network.LinkScheduler` and the
-    notion of *where models live*: clusters upload to and download from the
-    shared :data:`STORAGE_ENDPOINT`.  Because the storage backbone is a
-    serial endpoint, simultaneous transfers from different clusters contend —
+    notion of *where models live*.  In the default layout clusters upload to
+    and download from the single shared :data:`STORAGE_ENDPOINT`; with a
+    :class:`~repro.simnet.network.Topology` the actor instead picks one of
+    several storage **replicas** per transfer — each with its own parallel
+    capacity — so the structural bottleneck of one serial backbone
+    disappears.  Either way, transfers that saturate an endpoint contend —
     exactly the queueing the constant-cost model could not express.
 
     Args:
-        network: link topology (per-pair latency/bandwidth with a default).
+        network: link model for the single-endpoint layout (per-pair
+            latency/bandwidth with a default).  Mutually exclusive with
+            ``topology``.
         model_bytes: serialized size of one full-scale model; every transfer
             moves a whole number of models.
+        topology: multi-replica storage layout; supplies the links, the
+            replica capacities and each cluster's home replica.
+        selection: replica-selection policy — ``"affinity"`` always uses a
+            cluster's home replica, ``"least-loaded"`` deterministically
+            picks the replica with the smallest outstanding backlog per
+            capacity slot (declaration order breaks ties).
     """
 
-    def __init__(self, network: Optional[NetworkModel] = None, model_bytes: int = 1):
+    def __init__(
+        self,
+        network: Optional[NetworkModel] = None,
+        model_bytes: int = 1,
+        topology: Optional[Topology] = None,
+        selection: str = "affinity",
+    ):
         if model_bytes <= 0:
             raise ValueError("model_bytes must be positive")
-        self.scheduler = LinkScheduler(network)
+        if selection not in REPLICA_SELECTIONS:
+            raise ValueError(f"selection must be one of {REPLICA_SELECTIONS}")
+        if topology is not None and network is not None:
+            raise ValueError("pass either a network or a topology, not both")
+        self.topology = topology
+        if topology is not None:
+            self.scheduler = topology.build_scheduler()
+            self.replicas: List[str] = topology.replicas
+        else:
+            self.scheduler = LinkScheduler(network)
+            self.replicas = [STORAGE_ENDPOINT]
+        self.selection = selection
         self.model_bytes = int(model_bytes)
         #: transfers committed *through this actor*, each paired with its
         #: phase label ("upload" / "download").  Owned here rather than
         #: zipped against ``scheduler.log`` so direct commits on the public
         #: scheduler cannot shift the labelling.
         self._events: List[Tuple[ScheduledTransfer, str]] = []
+
+    # -------------------------------------------------------- replica selection
+    def select_replica(self, endpoint: str, at: float) -> str:
+        """The replica a transfer from ``endpoint`` requested ``at`` would use.
+
+        Pure and deterministic: reads only committed reservations, so an
+        estimate and the commit that follows it pick the same replica.
+        """
+        if len(self.replicas) == 1:
+            return self.replicas[0]
+        if self.selection == "affinity":
+            assert self.topology is not None
+            return self.topology.home_replica(endpoint)
+        best: Optional[Tuple[float, int]] = None
+        chosen = self.replicas[0]
+        for index, replica in enumerate(self.replicas):
+            backlog = self.scheduler.outstanding_backlog(replica, at)
+            key = (backlog / self.scheduler.capacity(replica), index)
+            if best is None or key < best:
+                best = key
+                chosen = replica
+        return chosen
 
     # ------------------------------------------------------------------ streams
     def upload(self, endpoint: str, num_models: int, at: float) -> float:
@@ -99,18 +156,22 @@ class NetworkActor:
         the link), so other clusters' transfers can interleave between them.
         Returns the total elapsed seconds the caller experienced.
         """
-        return self._stream(endpoint, STORAGE_ENDPOINT, num_models, at, phase="upload")
+        if num_models <= 0:
+            return 0.0
+        replica = self.select_replica(endpoint, at)
+        return self._stream(endpoint, replica, num_models, at, phase="upload")
 
     def download(self, endpoint: str, num_models: int, at: float) -> float:
         """Move ``num_models`` models from storage to ``endpoint``.
 
         Returns the total elapsed seconds the caller experienced.
         """
-        return self._stream(STORAGE_ENDPOINT, endpoint, num_models, at, phase="download")
-
-    def _stream(self, source: str, destination: str, num_models: int, at: float, phase: str) -> float:
         if num_models <= 0:
             return 0.0
+        replica = self.select_replica(endpoint, at)
+        return self._stream(replica, endpoint, num_models, at, phase="download")
+
+    def _stream(self, source: str, destination: str, num_models: int, at: float, phase: str) -> float:
         cursor = at
         for _ in range(num_models):
             scheduled = self.scheduler.transfer(source, destination, self.model_bytes, cursor)
@@ -124,7 +185,8 @@ class NetworkActor:
         Pure: nothing is committed to the schedule.  Used by the sync policy's
         straggler decision (can this cluster still make the window?).
         """
-        return self.scheduler.estimate(endpoint, STORAGE_ENDPOINT, self.model_bytes, at)
+        replica = self.select_replica(endpoint, at)
+        return self.scheduler.estimate(endpoint, replica, self.model_bytes, at)
 
     # ---------------------------------------------------------------- reporting
     def transfers(self, phase: Optional[str] = None) -> List[ScheduledTransfer]:
@@ -142,7 +204,26 @@ class NetworkActor:
             for phase in ("upload", "download")
         }
         for transfer, phase in self._events:
-            bucket = totals.setdefault(phase, {"time": 0.0, "queued": 0.0, "count": 0.0})
+            bucket = totals[phase]
+            bucket["time"] += transfer.duration
+            bucket["queued"] += transfer.queued_time
+            bucket["count"] += 1.0
+        return totals
+
+    def replica_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-replica ``{"time", "queued", "count"}`` over both phases.
+
+        Every declared replica is always present (zeros when idle) so sweeps
+        over replica counts export a stable schema.
+        """
+        totals: Dict[str, Dict[str, float]] = {
+            replica: {"time": 0.0, "queued": 0.0, "count": 0.0} for replica in self.replicas
+        }
+        for transfer, phase in self._events:
+            replica = transfer.destination if phase == "upload" else transfer.source
+            bucket = totals.get(replica)
+            if bucket is None:
+                continue
             bucket["time"] += transfer.duration
             bucket["queued"] += transfer.queued_time
             bucket["count"] += 1.0
@@ -183,7 +264,11 @@ class ChainActor:
     # ------------------------------------------------------------------ streams
     def _seal(self, at: float, num_transactions: int) -> tuple[float, int]:
         ready = at + max(0, num_transactions) * TX_COST_S
-        block_index = int(math.floor(ready / self.block_interval)) + 1
+        # A transaction ready *exactly on* a boundary rides that boundary; only
+        # strictly-later readiness waits for the next one.  (The old
+        # ``floor + 1`` quantisation pushed the exact-boundary case a full
+        # interval into the future.)
+        block_index = int(math.ceil(ready / self.block_interval))
         sealed = block_index * self.block_interval + self.consensus_delay
         return sealed, block_index
 
@@ -276,14 +361,20 @@ class CommFabric:
         """Flat per-phase communication/chain accounting for result documents.
 
         Keys are stable and JSON-friendly: ``upload_time`` / ``upload_queued``
-        / ``upload_count`` (ditto ``download_*``), ``chain_wait_<kind>`` and
-        ``chain_ops_<kind>`` per interaction kind, plus totals.
+        / ``upload_count`` (ditto ``download_*``), ``replica_<name>_time`` /
+        ``_queued`` / ``_count`` per storage replica, ``chain_wait_<kind>``
+        and ``chain_ops_<kind>`` per interaction kind, plus totals.
         """
         out: Dict[str, float] = {}
         for phase, bucket in sorted(self.network.phase_totals().items()):
             out[f"{phase}_time"] = bucket["time"]
             out[f"{phase}_queued"] = bucket["queued"]
             out[f"{phase}_count"] = bucket["count"]
+        for replica, bucket in sorted(self.network.replica_totals().items()):
+            out[f"replica_{replica}_time"] = bucket["time"]
+            out[f"replica_{replica}_queued"] = bucket["queued"]
+            out[f"replica_{replica}_count"] = bucket["count"]
+        out["storage_replicas"] = float(len(self.network.replicas))
         out["network_time"] = self.network.scheduler.total_wire_time
         out["network_queued"] = self.network.scheduler.total_queued_time
         for kind, bucket in sorted(self.chain.kind_totals().items()):

@@ -383,10 +383,13 @@ class SemiSyncRoundPolicy(RoundPolicy):
         self._deadline_passed = False
         self._finished: set = set()
         self._timeout_event = None
-        #: audit trail of round closures: (round, close_time, reason, landed).
-        #: "landed" is the policy's own count and can be smaller than the
-        #: contract's SemiRoundClosed buffered count when submissions were
-        #: registered on-chain but still in flight at close time.
+        #: audit trail of round closures:
+        #: (round, close_time, reason, landed, release_time).  "landed" is the
+        #: policy's own count and can be smaller than the contract's
+        #: SemiRoundClosed buffered count when submissions were registered
+        #: on-chain but still in flight at close time; "release_time" is the
+        #: closeSemiRound finality every same-round submitter resumed at (it
+        #: equals close_time in constant-cost mode).
         self.closures: List[tuple] = []
 
     # ----------------------------------------------------------------- install
@@ -455,15 +458,18 @@ class SemiSyncRoundPolicy(RoundPolicy):
             return
         self._landed += 1
         if self._landed >= self.quorum_k:
-            self._close_round(reason="quorum")
+            release_time = self._close_round(reason="quorum")
             if not done:
-                self._reactivate(aggregator)
+                # The quorum-triggering cluster waits for closeSemiRound
+                # finality exactly like every blocked waiter — closing the
+                # round is not a licence to skip the consensus wait.
+                self._release(aggregator, release_time)
         elif self._deadline_passed:
             # The round is already past its staleness deadline; this first
             # landing gives it content, so it closes right away.
-            self._close_round(reason="staleness")
+            release_time = self._close_round(reason="staleness")
             if not done:
-                self._reactivate(aggregator)
+                self._release(aggregator, release_time)
         elif not done:
             # Submitted to a round that is still open: wait for the close.
             self._blocked[aggregator.name] = aggregator
@@ -495,8 +501,26 @@ class SemiSyncRoundPolicy(RoundPolicy):
             self.max_staleness, self._on_timeout, priority=1, key="semi-timeout"
         )
 
-    def _close_round(self, reason: str) -> None:
-        """Close the open semi round on the contract and release waiters."""
+    def _release(self, aggregator: "UnifyFLAggregator", release_time: float) -> None:
+        """Advance a same-round submitter to the close's finality and re-arm it.
+
+        Shared by blocked waiters and the cluster whose landing triggered the
+        close, so every submitter of a round resumes no earlier than
+        ``release_time`` (in constant-cost mode finality is instant and the
+        wait degenerates to zero).
+        """
+        waited = aggregator.clock.advance_to(release_time)
+        self.ctx.add_idle(aggregator.name, waited)
+        if aggregator.history:
+            aggregator.history[-1].timing.idle_time += waited
+        self._reactivate(aggregator)
+
+    def _close_round(self, reason: str) -> float:
+        """Close the open semi round on the contract and release waiters.
+
+        Returns the release time — closeSemiRound finality — the caller must
+        also hold its own triggering cluster to.
+        """
         assert self.kernel is not None
         close_time = self.kernel.now()
         status = self.ctx.chain.call("unifyfl", "getSemiRoundStatus")
@@ -508,7 +532,7 @@ class SemiSyncRoundPolicy(RoundPolicy):
         # closeSemiRound transaction is sealed — the quorum close is itself a
         # chain event, so its consensus latency is part of their wait.
         release_time = close_time + self._driver_chain_op("closeSemiRound", close_time)
-        self.closures.append((status["round"], close_time, reason, self._landed))
+        self.closures.append((status["round"], close_time, reason, self._landed, release_time))
         self._landed = 0
         self._deadline_passed = False
 
@@ -521,11 +545,8 @@ class SemiSyncRoundPolicy(RoundPolicy):
 
         blocked = [self._blocked.pop(name) for name in sorted(self._blocked)]
         for aggregator in blocked:
-            waited = aggregator.clock.advance_to(release_time)
-            self.ctx.add_idle(aggregator.name, waited)
-            if aggregator.history:
-                aggregator.history[-1].timing.idle_time += waited
-            self._reactivate(aggregator)
+            self._release(aggregator, release_time)
+        return release_time
 
     def _all_finished(self) -> bool:
         return len(self._finished) == len(self.ctx.aggregators)

@@ -11,9 +11,11 @@ containers).  This package provides the simulated equivalent:
 * :mod:`repro.simnet.hardware` — device profiles with relative training
   throughput, used to model stragglers and heterogeneity.
 * :mod:`repro.simnet.network` — latency/bandwidth links used for model
-  transfer times to and from the storage layer, plus the
-  :class:`~repro.simnet.network.LinkScheduler` that adds FIFO endpoint
-  contention for the event-stream mode.
+  transfer times to and from the storage layer, the
+  :class:`~repro.simnet.network.LinkScheduler` that adds capacity-bounded
+  endpoint contention for the event-stream mode, and the
+  :class:`~repro.simnet.network.Topology` builder for multi-site storage
+  layouts (replicas with parallel capacity, LAN/WAN links).
 * :mod:`repro.simnet.resources` — CPU / memory usage accounting producing the
   paper's Table 7 system-overhead metrics.
 """
@@ -29,7 +31,13 @@ from repro.simnet.hardware import (
     HardwareProfile,
     profile_by_name,
 )
-from repro.simnet.network import LinkScheduler, NetworkLink, NetworkModel, ScheduledTransfer
+from repro.simnet.network import (
+    LinkScheduler,
+    NetworkLink,
+    NetworkModel,
+    ScheduledTransfer,
+    Topology,
+)
 from repro.simnet.resources import ProcessSample, ResourceMonitor, ResourceReport
 
 __all__ = [
@@ -47,6 +55,7 @@ __all__ = [
     "NetworkLink",
     "NetworkModel",
     "ScheduledTransfer",
+    "Topology",
     "ProcessSample",
     "ResourceMonitor",
     "ResourceReport",

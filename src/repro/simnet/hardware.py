@@ -16,6 +16,7 @@ appears in the reproduction exactly as it does on real hardware.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict
 
@@ -28,8 +29,10 @@ class HardwareProfile:
     #: synthetic training throughput, in samples per simulated second for the
     #: reference CNN workload; larger models scale time by parameter ratio.
     samples_per_second: float
-    #: sustained network bandwidth in megabytes per simulated second.
-    bandwidth_mbps: float
+    #: sustained network bandwidth in **megabytes** per simulated second
+    #: (1 MB = 1e6 bytes).  Formerly misleadingly named ``bandwidth_mbps``,
+    #: which survives as a deprecated read alias.
+    bandwidth_mbytes_per_s: float
     #: one-way network latency to cluster peers, in simulated seconds.
     latency_s: float
     #: memory capacity in megabytes (used in the overhead report).
@@ -49,18 +52,33 @@ class HardwareProfile:
             raise ValueError("model_scale must be positive")
         return (num_samples * epochs * model_scale) / self.samples_per_second
 
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Deprecated alias of :attr:`bandwidth_mbytes_per_s`.
+
+        The historical name suggested megabits/s, but the value has always
+        been mega**bytes** per simulated second.
+        """
+        warnings.warn(
+            "HardwareProfile.bandwidth_mbps is deprecated (the unit is megabytes/s); "
+            "use bandwidth_mbytes_per_s",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.bandwidth_mbytes_per_s
+
     def transfer_time(self, num_bytes: int) -> float:
         """Simulated seconds to move ``num_bytes`` to or from this device."""
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
-        return self.latency_s + num_bytes / (self.bandwidth_mbps * 1_000_000)
+        return self.latency_s + num_bytes / (self.bandwidth_mbytes_per_s * 1_000_000)
 
 
 #: GPU workstation node from the paper's GPU cluster.
 GPU_NODE = HardwareProfile(
     name="gpu-node",
     samples_per_second=4000.0,
-    bandwidth_mbps=125.0,
+    bandwidth_mbytes_per_s=125.0,
     latency_s=0.002,
     memory_mb=65536.0,
     train_cpu_percent=35.0,
@@ -70,7 +88,7 @@ GPU_NODE = HardwareProfile(
 EDGE_CPU_NODE = HardwareProfile(
     name="edge-cpu-node",
     samples_per_second=900.0,
-    bandwidth_mbps=25.0,
+    bandwidth_mbytes_per_s=25.0,
     latency_s=0.01,
     memory_mb=8192.0,
     train_cpu_percent=45.0,
@@ -80,7 +98,7 @@ EDGE_CPU_NODE = HardwareProfile(
 RASPBERRY_PI_400 = HardwareProfile(
     name="raspberry-pi-400",
     samples_per_second=120.0,
-    bandwidth_mbps=10.0,
+    bandwidth_mbytes_per_s=10.0,
     latency_s=0.02,
     memory_mb=4096.0,
     train_cpu_percent=85.0,
@@ -90,7 +108,7 @@ RASPBERRY_PI_400 = HardwareProfile(
 JETSON_NANO = HardwareProfile(
     name="jetson-nano",
     samples_per_second=450.0,
-    bandwidth_mbps=12.0,
+    bandwidth_mbytes_per_s=12.0,
     latency_s=0.015,
     memory_mb=4096.0,
     train_cpu_percent=60.0,
@@ -100,7 +118,7 @@ JETSON_NANO = HardwareProfile(
 DOCKER_CONTAINER = HardwareProfile(
     name="docker-container",
     samples_per_second=300.0,
-    bandwidth_mbps=50.0,
+    bandwidth_mbytes_per_s=50.0,
     latency_s=0.005,
     memory_mb=2048.0,
     train_cpu_percent=55.0,

@@ -6,12 +6,17 @@ Two levels of fidelity live here:
   (``latency + bytes / bandwidth``) with per-pair link overrides.  This is the
   constant-cost model every experiment uses by default.
 * :class:`LinkScheduler` — FIFO contention on top of the same links.  Each
-  endpoint is a serial resource: a transfer occupies both its source and its
-  destination until it completes, so concurrent transfers that share an
+  endpoint carries a bounded number of concurrent transfers (its *capacity*,
+  1 by default): a transfer occupies a slot on both its source and its
+  destination until it completes, so concurrent transfers that saturate an
   endpoint (for example several clusters pushing models into the storage
   swarm) queue behind each other instead of magically overlapping.  The
   event-stream actors in :mod:`repro.sched.actors` build on this to turn
   network I/O into first-class simulation events.
+* :class:`Topology` — a builder for multi-site storage layouts: named
+  storage **replicas** with parallel capacity, per-cluster LAN links to a
+  home replica, and WAN links between sites.  It materialises into a
+  :class:`NetworkModel` plus a capacity-aware :class:`LinkScheduler`.
 """
 
 from __future__ import annotations
@@ -49,6 +54,9 @@ class NetworkModel:
     the paper's clusters sit on one LAN where all links are alike.
     """
 
+    #: link used for self-transfers; shared because links are immutable.
+    LOOPBACK = NetworkLink(latency_s=0.0, bandwidth_bytes_per_s=10e9)
+
     def __init__(self, default_link: Optional[NetworkLink] = None):
         self.default_link = default_link or NetworkLink(latency_s=0.005, bandwidth_bytes_per_s=100e6)
         self._links: Dict[Tuple[str, str], NetworkLink] = {}
@@ -62,7 +70,7 @@ class NetworkModel:
     def link(self, source: str, destination: str) -> NetworkLink:
         """The link between two endpoints (a zero-cost loopback for self-transfers)."""
         if source == destination:
-            return NetworkLink(latency_s=0.0, bandwidth_bytes_per_s=10e9)
+            return self.LOOPBACK
         return self._links.get((source, destination), self.default_link)
 
     def transfer_time(self, source: str, destination: str, num_bytes: int) -> float:
@@ -108,42 +116,127 @@ class ScheduledTransfer:
 
 
 class LinkScheduler:
-    """Serial-endpoint contention over a :class:`NetworkModel`.
+    """Bounded-capacity endpoint contention over a :class:`NetworkModel`.
 
-    Each endpoint (cluster uplink, storage swarm backbone, ...) can carry one
-    transfer at a time; a transfer occupies *both* endpoints for its
+    Each endpoint (cluster uplink, storage replica, ...) carries up to
+    ``capacity`` concurrent transfers (1 unless raised with
+    :meth:`set_capacity` — the serial endpoint is the ``c = 1`` special
+    case); a transfer occupies one slot on *both* endpoints for its
     duration.  Reservations are gap-filling: a transfer takes the earliest
-    slot at or after its request time where both endpoints are free, so it
-    only queues behind transfers it genuinely overlaps in simulated time —
-    not behind whatever happened to be committed first.  (The discrete-event
-    kernel executes a whole cluster round atomically, so a fast cluster's
-    late-round transfers are committed before a slow cluster's early-round
-    ones; first-fit placement keeps the schedule causal anyway.)
+    slot at or after its request time where both endpoints have a free slot,
+    so it only queues behind transfers it genuinely overlaps in simulated
+    time — not behind whatever happened to be committed first.  (The
+    discrete-event kernel executes a whole cluster round atomically, so a
+    fast cluster's late-round transfers are committed before a slow
+    cluster's early-round ones; first-fit placement keeps the schedule
+    causal anyway.)
 
     The wire time of an uncontended transfer is exactly
     ``NetworkModel.transfer_time`` — enabling contention never makes an
     isolated transfer slower, it only delays transfers that overlap.
     """
 
-    def __init__(self, network: Optional[NetworkModel] = None):
+    def __init__(
+        self,
+        network: Optional[NetworkModel] = None,
+        capacities: Optional[Dict[str, int]] = None,
+    ):
         self.network = network or NetworkModel()
-        #: sorted, non-overlapping busy intervals per endpoint.
+        #: busy intervals per endpoint, sorted by (start, end); with capacity
+        #: c > 1 up to c of them may overlap at any instant.
         self._busy: Dict[str, List[Tuple[float, float]]] = {}
+        #: parallel capacity per endpoint; absent means serial (c = 1).
+        self._capacity: Dict[str, int] = {}
+        #: sorted sweep boundaries ``(time, +1/-1)`` per capacity>1 endpoint,
+        #: maintained incrementally at commit time so placements need not
+        #: re-sort the whole reservation history.
+        self._boundaries: Dict[str, List[Tuple[float, int]]] = {}
         #: committed transfers, in request order (the transfer event log).
         self.log: List[ScheduledTransfer] = []
+        for endpoint, capacity in (capacities or {}).items():
+            self.set_capacity(endpoint, capacity)
+
+    def set_capacity(self, endpoint: str, capacity: int) -> None:
+        """Let ``endpoint`` admit up to ``capacity`` overlapping reservations.
+
+        Affects future placements only; committed reservations are never
+        rescheduled, so set capacities before scheduling traffic.
+        """
+        if capacity < 1:
+            raise ValueError("endpoint capacity must be at least 1")
+        self._capacity[endpoint] = int(capacity)
+        if capacity > 1:
+            boundaries: List[Tuple[float, int]] = []
+            for start, end in self._busy.get(endpoint, ()):
+                boundaries.append((start, 1))
+                boundaries.append((end, -1))
+            boundaries.sort()
+            self._boundaries[endpoint] = boundaries
+        else:
+            self._boundaries.pop(endpoint, None)
+
+    def capacity(self, endpoint: str) -> int:
+        """Parallel capacity of one endpoint (1 unless raised)."""
+        return self._capacity.get(endpoint, 1)
 
     def busy_intervals(self, endpoint: str) -> List[Tuple[float, float]]:
         """The committed ``(start, end)`` reservations of one endpoint."""
         return list(self._busy.get(endpoint, []))
 
-    def _conflict_end(self, endpoint: str, start: float, duration: float) -> Optional[float]:
-        """End of the first reservation overlapping ``[start, start+duration)``.
+    def outstanding_backlog(self, endpoint: str, at: float) -> float:
+        """Reserved seconds still scheduled at or after ``at`` on one endpoint.
 
-        Endpoint intervals are sorted and non-overlapping, so a bisect finds
-        the first interval that could still be running at ``start`` in
-        O(log n); ``None`` means the slot is free.
+        The load metric behind deterministic least-loaded replica selection;
+        iterates the committed reservations without copying them.
+        """
+        total = 0.0
+        for start, end in self._busy.get(endpoint, ()):
+            if end > at:
+                total += end - max(start, at)
+        return total
+
+    def _saturated_intervals(self, endpoint: str) -> List[Tuple[float, float]]:
+        """Maximal intervals where the endpoint is at capacity.
+
+        For a serial endpoint these are the raw reservations themselves
+        (capacity-1 placement stays bit-identical to the pre-capacity
+        scheduler).  For ``c > 1`` a sweep over the incrementally-maintained
+        reservation boundaries finds the regions with ``>= c`` concurrent
+        transfers — only those block a new reservation.
         """
         intervals = self._busy.get(endpoint)
+        if not intervals:
+            return []
+        cap = self.capacity(endpoint)
+        if cap == 1:
+            return intervals
+        # Sorted with the -1 before the +1 at equal times: a reservation
+        # ending exactly when another starts never saturates the instant
+        # between them.
+        boundaries = self._boundaries[endpoint]
+        saturated: List[Tuple[float, float]] = []
+        active = 0
+        block_start: Optional[float] = None
+        for time, delta in boundaries:
+            active += delta
+            if active >= cap and block_start is None:
+                block_start = time
+            elif active < cap and block_start is not None:
+                if time > block_start:
+                    saturated.append((block_start, time))
+                block_start = None
+        return saturated
+
+    @staticmethod
+    def _conflict_end(
+        intervals: List[Tuple[float, float]], start: float, duration: float
+    ) -> Optional[float]:
+        """End of the first blocked interval overlapping ``[start, start+duration)``.
+
+        ``intervals`` are sorted (and non-overlapping for the serial case),
+        so a bisect finds the first interval that could still be running at
+        ``start`` in O(log n); ``None`` means the slot is free.
+        """
         if not intervals:
             return None
         index = bisect.bisect_right(intervals, (start, float("inf")))
@@ -154,16 +247,17 @@ class LinkScheduler:
         return None
 
     def _earliest_start(self, endpoints: List[str], at: float, duration: float) -> float:
-        """First time ``>= at`` where every endpoint is free for ``duration``."""
+        """First time ``>= at`` where every endpoint has a slot for ``duration``."""
+        blocked = {endpoint: self._saturated_intervals(endpoint) for endpoint in endpoints}
         start = at
         moved = True
         while moved:
             moved = False
             for endpoint in endpoints:
-                conflict_end = self._conflict_end(endpoint, start, duration)
+                conflict_end = self._conflict_end(blocked[endpoint], start, duration)
                 if conflict_end is not None:
-                    # Overlaps a reservation: jump past it and re-check every
-                    # endpoint from the new start.
+                    # Overlaps a saturated region: jump past it and re-check
+                    # every endpoint from the new start.
                     start = conflict_end
                     moved = True
                     break
@@ -203,6 +297,10 @@ class LinkScheduler:
         endpoints = {source, destination}
         for endpoint in endpoints:
             bisect.insort(self._busy.setdefault(endpoint, []), interval)
+            boundaries = self._boundaries.get(endpoint)
+            if boundaries is not None:
+                bisect.insort(boundaries, (scheduled.started_at, 1))
+                bisect.insort(boundaries, (scheduled.finished_at, -1))
         self.log.append(scheduled)
         return scheduled
 
@@ -215,3 +313,134 @@ class LinkScheduler:
     def total_wire_time(self) -> float:
         """Pure transfer time (no queueing) of every committed transfer."""
         return sum(t.duration for t in self.log)
+
+
+class Topology:
+    """Builder for a multi-site storage topology.
+
+    A topology names the *storage replicas* artifacts are distributed to
+    (each with a parallel capacity, the number of transfers it can serve at
+    once), assigns every cluster a *home replica* reached over its LAN link,
+    and describes the WAN links between sites.  Reaching a remote replica
+    composes the cluster's LAN link with the WAN link between its home site
+    and the remote one: latencies add, bandwidth is the bottleneck of the
+    two hops.  ``build_scheduler`` materialises the whole layout into a
+    capacity-aware :class:`LinkScheduler` the event-stream
+    :class:`~repro.sched.actors.NetworkActor` can place transfers on.
+
+    With a single replica of capacity 1 the topology degenerates to the
+    serial single-endpoint model earlier releases hard-coded, bit-identically.
+
+    Args:
+        default_link: LAN link used for clusters added without an explicit
+            one (also the materialised network's default link).
+        default_wan_link: link assumed between two sites with no explicit
+            :meth:`set_wan_link` override.
+    """
+
+    def __init__(
+        self,
+        default_link: Optional[NetworkLink] = None,
+        default_wan_link: Optional[NetworkLink] = None,
+    ):
+        self.default_link = default_link or NetworkLink(latency_s=0.005, bandwidth_bytes_per_s=100e6)
+        self.default_wan_link = default_wan_link or NetworkLink(latency_s=0.05, bandwidth_bytes_per_s=50e6)
+        #: replica name -> parallel capacity, in declaration order (the
+        #: order breaks least-loaded selection ties deterministically).
+        self._replicas: Dict[str, int] = {}
+        self._home: Dict[str, str] = {}
+        self._lan: Dict[str, NetworkLink] = {}
+        self._wan: Dict[Tuple[str, str], NetworkLink] = {}
+
+    # ------------------------------------------------------------------ builder
+    def add_replica(self, name: str, capacity: int = 1) -> "Topology":
+        """Declare a storage replica able to serve ``capacity`` parallel transfers."""
+        if name in self._replicas or name in self._home:
+            raise ValueError(f"endpoint name '{name}' is already in use")
+        if capacity < 1:
+            raise ValueError("replica capacity must be at least 1")
+        self._replicas[name] = int(capacity)
+        return self
+
+    def add_cluster(self, name: str, replica: str, link: Optional[NetworkLink] = None) -> "Topology":
+        """Attach a cluster to its home ``replica`` over ``link`` (its LAN)."""
+        if name in self._replicas or name in self._home:
+            raise ValueError(f"endpoint name '{name}' is already in use")
+        if replica not in self._replicas:
+            raise ValueError(f"unknown replica '{replica}'; declare it with add_replica first")
+        self._home[name] = replica
+        self._lan[name] = link or self.default_link
+        return self
+
+    def set_wan_link(
+        self, site_a: str, site_b: str, link: NetworkLink, symmetric: bool = True
+    ) -> "Topology":
+        """Override the WAN link between two replica sites."""
+        for site in (site_a, site_b):
+            if site not in self._replicas:
+                raise ValueError(f"unknown replica '{site}'")
+        if site_a == site_b:
+            raise ValueError("a WAN link connects two distinct sites")
+        self._wan[(site_a, site_b)] = link
+        if symmetric:
+            self._wan[(site_b, site_a)] = link
+        return self
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def replicas(self) -> List[str]:
+        """Replica names in declaration order."""
+        return list(self._replicas)
+
+    @property
+    def clusters(self) -> List[str]:
+        """Cluster names in declaration order."""
+        return list(self._home)
+
+    def capacity(self, replica: str) -> int:
+        """Parallel capacity of one replica."""
+        return self._replicas[replica]
+
+    def home_replica(self, cluster: str) -> str:
+        """The replica a cluster reaches over its LAN link."""
+        return self._home[cluster]
+
+    def wan_link(self, site_a: str, site_b: str) -> NetworkLink:
+        """The WAN link between two sites (the default when not overridden)."""
+        return self._wan.get((site_a, site_b), self.default_wan_link)
+
+    def path_link(self, cluster: str, replica: str) -> NetworkLink:
+        """Effective single-hop link for ``cluster`` <-> ``replica``.
+
+        The home replica is one LAN hop; a remote replica composes LAN and
+        WAN (latencies add, bandwidth is the slower hop).
+        """
+        lan = self._lan[cluster]
+        home = self._home[cluster]
+        if replica == home:
+            return lan
+        wan = self.wan_link(home, replica)
+        return NetworkLink(
+            latency_s=lan.latency_s + wan.latency_s,
+            bandwidth_bytes_per_s=min(lan.bandwidth_bytes_per_s, wan.bandwidth_bytes_per_s),
+        )
+
+    # -------------------------------------------------------------- materialise
+    def build_network(self) -> NetworkModel:
+        """Materialise every cluster<->replica and replica<->replica link."""
+        if not self._replicas:
+            raise ValueError("a topology needs at least one replica")
+        network = NetworkModel(default_link=self.default_link)
+        for cluster in self._home:
+            for replica in self._replicas:
+                network.set_link(cluster, replica, self.path_link(cluster, replica))
+        replicas = list(self._replicas)
+        for site_a in replicas:
+            for site_b in replicas:
+                if site_a != site_b:
+                    network.set_link(site_a, site_b, self.wan_link(site_a, site_b), symmetric=False)
+        return network
+
+    def build_scheduler(self) -> LinkScheduler:
+        """A capacity-aware scheduler over the materialised network."""
+        return LinkScheduler(self.build_network(), capacities=dict(self._replicas))

@@ -18,11 +18,16 @@ import numpy as np
 import pytest
 
 from repro.chain.clique import CliqueError, consensus_delay
-from repro.core.config import ExperimentConfig, cifar10_workload, edge_cluster_configs
+from repro.core.config import (
+    ExperimentConfig,
+    cifar10_workload,
+    edge_cluster_configs,
+    gpu_cluster_configs,
+)
 from repro.core.results import format_comm_table
 from repro.core.runner import ExperimentRunner
 from repro.sched.actors import STORAGE_ENDPOINT, TX_COST_S, ChainActor, CommFabric, NetworkActor
-from repro.simnet.network import LinkScheduler, NetworkLink, NetworkModel
+from repro.simnet.network import LinkScheduler, NetworkLink, NetworkModel, Topology
 
 
 def make_network(bandwidth_bytes_per_s: float = 1e6, latency_s: float = 0.0) -> NetworkModel:
@@ -100,6 +105,147 @@ class TestLinkScheduler:
         assert scheduler.total_queued_time == pytest.approx(1.0)
 
 
+# ----------------------------------------------------------------- endpoint capacity (c >= 1)
+def max_concurrency(intervals):
+    """Largest number of reservations overlapping at any instant."""
+    boundaries = []
+    for start, end in intervals:
+        boundaries.append((start, 1))
+        boundaries.append((end, -1))
+    boundaries.sort()  # ends before starts at equal times: [a, b) intervals
+    active = peak = 0
+    for _, delta in boundaries:
+        active += delta
+        peak = max(peak, active)
+    return peak
+
+
+class TestLinkSchedulerCapacity:
+    def test_capacity_admits_exactly_c_overlapping_reservations(self):
+        scheduler = LinkScheduler(make_network(), capacities={STORAGE_ENDPOINT: 2})
+        first = scheduler.transfer("a", STORAGE_ENDPOINT, 1_000_000, at=0.0)
+        second = scheduler.transfer("b", STORAGE_ENDPOINT, 1_000_000, at=0.0)
+        third = scheduler.transfer("c", STORAGE_ENDPOINT, 1_000_000, at=0.0)
+        # Two slots: the first two start immediately, the third queues.
+        assert first.started_at == 0.0 and second.started_at == 0.0
+        assert third.started_at == pytest.approx(1.0)
+        assert third.queued_time == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3, 5])
+    def test_property_never_more_than_c_overlaps(self, capacity):
+        """Property test: random traffic never exceeds the endpoint capacity."""
+        rng = np.random.default_rng(capacity)
+        scheduler = LinkScheduler(make_network(), capacities={STORAGE_ENDPOINT: capacity})
+        for _ in range(120):
+            source = f"cluster{rng.integers(0, 12)}"
+            at = float(rng.uniform(0.0, 30.0))
+            num_bytes = int(rng.integers(100_000, 2_000_000))
+            if rng.uniform() < 0.5:
+                scheduler.transfer(source, STORAGE_ENDPOINT, num_bytes, at=at)
+            else:
+                scheduler.transfer(STORAGE_ENDPOINT, source, num_bytes, at=at)
+        intervals = scheduler.busy_intervals(STORAGE_ENDPOINT)
+        assert len(intervals) == 120
+        assert max_concurrency(intervals) <= capacity
+        # The capacity is actually used, not just bounded.
+        if capacity > 1:
+            assert max_concurrency(intervals) == capacity
+
+    def test_capacity_one_is_bit_identical_to_default(self):
+        """c=1 must reproduce the serial scheduler's placements exactly."""
+        rng = np.random.default_rng(7)
+        requests = [
+            (f"cluster{rng.integers(0, 6)}", float(rng.uniform(0.0, 20.0)), int(rng.integers(1, 3_000_000)))
+            for _ in range(80)
+        ]
+        default = LinkScheduler(make_network())
+        explicit = LinkScheduler(make_network(), capacities={STORAGE_ENDPOINT: 1})
+        for source, at, num_bytes in requests:
+            default.transfer(source, STORAGE_ENDPOINT, num_bytes, at=at)
+            explicit.transfer(source, STORAGE_ENDPOINT, num_bytes, at=at)
+        assert default.log == explicit.log
+
+    def test_uncontended_transfer_still_costs_exactly_the_link_time(self):
+        network = make_network(bandwidth_bytes_per_s=1e6, latency_s=0.25)
+        scheduler = LinkScheduler(network, capacities={STORAGE_ENDPOINT: 4})
+        scheduled = scheduler.transfer("a", STORAGE_ENDPOINT, 1_000_000, at=2.0)
+        assert scheduled.queued_time == 0.0
+        assert scheduled.duration == pytest.approx(network.transfer_time("a", STORAGE_ENDPOINT, 1_000_000))
+
+    def test_capacity_validation(self):
+        scheduler = LinkScheduler(make_network())
+        with pytest.raises(ValueError):
+            scheduler.set_capacity(STORAGE_ENDPOINT, 0)
+        with pytest.raises(ValueError):
+            LinkScheduler(make_network(), capacities={"x": -1})
+        scheduler.set_capacity(STORAGE_ENDPOINT, 3)
+        assert scheduler.capacity(STORAGE_ENDPOINT) == 3
+        assert scheduler.capacity("elsewhere") == 1
+
+
+# -------------------------------------------------------------------------------- topology
+class TestTopology:
+    def build_two_sites(self) -> Topology:
+        topology = Topology(
+            default_link=NetworkLink(latency_s=0.01, bandwidth_bytes_per_s=10e6),
+            default_wan_link=NetworkLink(latency_s=0.04, bandwidth_bytes_per_s=5e6),
+        )
+        topology.add_replica("site-a", capacity=2)
+        topology.add_replica("site-b", capacity=1)
+        topology.add_cluster("agg1", "site-a")
+        topology.add_cluster("agg2", "site-b", NetworkLink(latency_s=0.02, bandwidth_bytes_per_s=8e6))
+        return topology
+
+    def test_home_path_is_the_lan_link(self):
+        topology = self.build_two_sites()
+        link = topology.path_link("agg2", "site-b")
+        assert link.latency_s == 0.02
+        assert link.bandwidth_bytes_per_s == 8e6
+
+    def test_remote_path_composes_lan_and_wan(self):
+        topology = self.build_two_sites()
+        link = topology.path_link("agg2", "site-a")
+        # Latencies add; bandwidth is the slower of the two hops.
+        assert link.latency_s == pytest.approx(0.02 + 0.04)
+        assert link.bandwidth_bytes_per_s == 5e6
+
+    def test_wan_override_is_per_pair(self):
+        topology = self.build_two_sites()
+        topology.set_wan_link("site-a", "site-b", NetworkLink(latency_s=0.5, bandwidth_bytes_per_s=1e6))
+        link = topology.path_link("agg1", "site-b")
+        assert link.latency_s == pytest.approx(0.01 + 0.5)
+        assert link.bandwidth_bytes_per_s == 1e6
+        network = topology.build_network()
+        assert network.link("site-a", "site-b").latency_s == 0.5
+        assert network.link("site-b", "site-a").latency_s == 0.5
+
+    def test_build_scheduler_applies_capacities(self):
+        scheduler = self.build_two_sites().build_scheduler()
+        assert scheduler.capacity("site-a") == 2
+        assert scheduler.capacity("site-b") == 1
+        # Cluster<->replica links are materialised into the network model.
+        assert scheduler.network.link("agg2", "site-b").bandwidth_bytes_per_s == 8e6
+
+    def test_builder_validation(self):
+        topology = Topology()
+        with pytest.raises(ValueError):
+            topology.build_network()  # no replicas yet
+        topology.add_replica("site-a")
+        with pytest.raises(ValueError):
+            topology.add_replica("site-a")  # duplicate
+        with pytest.raises(ValueError):
+            topology.add_replica("site-b", capacity=0)
+        with pytest.raises(ValueError):
+            topology.add_cluster("agg1", "nowhere")
+        topology.add_cluster("agg1", "site-a")
+        with pytest.raises(ValueError):
+            topology.add_cluster("agg1", "site-a")  # name reuse
+        with pytest.raises(ValueError):
+            topology.set_wan_link("site-a", "site-a", NetworkLink(0.1, 1e6))
+        with pytest.raises(ValueError):
+            topology.set_wan_link("site-a", "missing", NetworkLink(0.1, 1e6))
+
+
 # --------------------------------------------------------------------------- network actor
 class TestNetworkActor:
     def test_upload_download_streams_and_phase_totals(self):
@@ -136,6 +282,77 @@ class TestNetworkActor:
     def test_rejects_nonpositive_model_bytes(self):
         with pytest.raises(ValueError):
             NetworkActor(make_network(), model_bytes=0)
+
+
+# ------------------------------------------------------------------ replica-aware network actor
+class TestNetworkActorReplicas:
+    def two_replica_actor(self, selection: str) -> NetworkActor:
+        topology = Topology(
+            default_link=NetworkLink(latency_s=0.0, bandwidth_bytes_per_s=1e6),
+            default_wan_link=NetworkLink(latency_s=0.0, bandwidth_bytes_per_s=1e6),
+        )
+        topology.add_replica("site-a").add_replica("site-b")
+        topology.add_cluster("agg1", "site-a").add_cluster("agg2", "site-b")
+        return NetworkActor(topology=topology, model_bytes=1_000_000, selection=selection)
+
+    def test_affinity_routes_to_the_home_replica(self):
+        actor = self.two_replica_actor("affinity")
+        actor.upload("agg1", 1, at=0.0)
+        actor.upload("agg2", 1, at=0.0)
+        assert actor.transfers("upload")[0].destination == "site-a"
+        assert actor.transfers("upload")[1].destination == "site-b"
+        # Different replicas: simultaneous uploads do not contend.
+        assert all(t.queued_time == 0.0 for t in actor.transfers())
+
+    def test_least_loaded_spreads_simultaneous_traffic(self):
+        actor = self.two_replica_actor("least-loaded")
+        actor.upload("agg1", 1, at=0.0)   # both empty -> declaration order: site-a
+        actor.upload("agg1", 1, at=0.0)   # site-a now has backlog -> site-b
+        destinations = [t.destination for t in actor.transfers("upload")]
+        assert destinations == ["site-a", "site-b"]
+
+    def test_least_loaded_accounts_for_capacity(self):
+        topology = Topology(default_link=NetworkLink(latency_s=0.0, bandwidth_bytes_per_s=1e6))
+        topology.add_replica("wide", capacity=4).add_replica("narrow", capacity=1)
+        topology.add_cluster("agg1", "narrow")
+        actor = NetworkActor(topology=topology, model_bytes=1_000_000, selection="least-loaded")
+        actor.upload("agg1", 1, at=0.0)           # both idle -> declaration order: wide
+        assert actor.transfers()[-1].destination == "wide"
+        # Load is backlog per capacity slot: wide now carries 1s/4 slots =
+        # 0.25, the idle narrow replica carries 0 and wins.
+        actor.upload("agg1", 1, at=0.0)
+        assert actor.transfers()[-1].destination == "narrow"
+        # A third upload: narrow has 1s/1 slot = 1.0, wide still 0.25 -> wide.
+        actor.upload("agg1", 1, at=0.0)
+        assert actor.transfers()[-1].destination == "wide"
+
+    def test_selection_is_deterministic_between_estimate_and_commit(self):
+        actor = self.two_replica_actor("least-loaded")
+        actor.upload("agg1", 1, at=0.0)
+        estimate = actor.estimate_upload("agg2", at=0.0)
+        elapsed = actor.upload("agg2", 1, at=0.0)
+        assert elapsed == pytest.approx(estimate)
+
+    def test_replica_totals(self):
+        actor = self.two_replica_actor("affinity")
+        actor.upload("agg1", 2, at=0.0)
+        actor.download("agg2", 1, at=0.0)
+        totals = actor.replica_totals()
+        assert totals["site-a"]["count"] == 2
+        assert totals["site-b"]["count"] == 1
+        assert totals["site-a"]["time"] == pytest.approx(2.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            NetworkActor(make_network(), topology=Topology().add_replica("s"))
+        with pytest.raises(ValueError):
+            NetworkActor(make_network(), selection="random")
+
+    def test_single_endpoint_actor_reports_one_replica(self):
+        actor = NetworkActor(make_network(), model_bytes=1_000_000)
+        actor.upload("agg1", 1, at=0.0)
+        assert actor.replicas == [STORAGE_ENDPOINT]
+        assert actor.replica_totals()[STORAGE_ENDPOINT]["count"] == 1
 
 
 # ----------------------------------------------------------------------------- chain actor
@@ -188,6 +405,21 @@ class TestChainActor:
         actor = ChainActor(block_interval=1.0)
         with pytest.raises(ValueError):
             actor.interact("x", "a", at=-1.0)
+
+    def test_transaction_ready_exactly_on_a_boundary_seals_there(self):
+        """Regression: ``ready % block_interval == 0`` must ride *that*
+        boundary, not wait a full extra interval (the old floor+1 bug)."""
+        actor = ChainActor(block_interval=2.0, consensus_delay=0.25)
+        # 1.95 + TX_COST_S == 2.0 exactly in binary floating point.
+        assert 1.95 + TX_COST_S == 2.0
+        on_boundary = actor.interact("submitModel", "agg1", at=1.95)
+        assert on_boundary.block_index == 1
+        assert on_boundary.sealed_at == pytest.approx(2.25)
+        assert on_boundary.delay == pytest.approx(0.3)
+        # Strictly past the boundary: the next block, as before.
+        past = actor.interact("submitModel", "agg2", at=1.96)
+        assert past.block_index == 2
+        assert past.sealed_at == pytest.approx(4.25)
 
     def test_consensus_delay_helper(self):
         assert consensus_delay(1, 2.0) == pytest.approx(0.01 + 1.0)
@@ -286,7 +518,7 @@ class TestEventStreamExperiments:
     def test_link_bandwidth_cap_creates_contention(self):
         free = ExperimentRunner(tiny_config("async", event_streams=True)).run()
         throttled = ExperimentRunner(
-            tiny_config("async", event_streams=True, link_bandwidth_mbps=0.05)
+            tiny_config("async", event_streams=True, link_bandwidth_mbytes_per_s=0.05)
         ).run()
         assert throttled.comm_metrics["network_time"] > free.comm_metrics["network_time"]
         assert throttled.comm_metrics["network_queued"] >= free.comm_metrics["network_queued"]
@@ -321,13 +553,160 @@ class TestEventStreamExperiments:
 
     def test_config_validation_of_stream_knobs(self):
         with pytest.raises(ValueError):
-            tiny_config("async", event_streams=True, link_bandwidth_mbps=0.0)
+            tiny_config("async", event_streams=True, link_bandwidth_mbytes_per_s=0.0)
         with pytest.raises(ValueError):
             tiny_config("async", event_streams=True, link_latency_s=-0.1)
         with pytest.raises(ValueError):
             tiny_config("async", event_streams=True, block_interval=0.0)
+        with pytest.raises(ValueError):
+            tiny_config("async", event_streams=True, storage_replicas=0)
+        with pytest.raises(ValueError):
+            tiny_config("async", event_streams=True, replica_capacity=0)
+        with pytest.raises(ValueError):
+            tiny_config("async", event_streams=True, replica_selection="round-robin")
+        with pytest.raises(ValueError):
+            tiny_config("async", event_streams=True, wan_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            tiny_config("async", event_streams=True, wan_bandwidth_mbytes_per_s=0.0)
+
+    def test_deprecated_bandwidth_alias_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            config = tiny_config("async", event_streams=True, link_bandwidth_mbps=0.25)
+        # The deprecated Mbps-named knob feeds the megabytes/s field.
+        assert config.link_bandwidth_mbytes_per_s == 0.25
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+            tiny_config("async", event_streams=True, link_bandwidth_mbps=0.0)
 
 
 def test_format_comm_table_without_streams():
     result = ExperimentRunner(tiny_config("async", event_streams=False)).run()
     assert "event_streams=True" in format_comm_table(result)
+
+
+# --------------------------------------------------------------- semi-sync release timing
+class TestSemiSyncReleaseTiming:
+    def test_all_same_round_submitters_resume_at_or_after_release_time(self):
+        """Regression: the quorum-triggering cluster must wait for
+        closeSemiRound finality exactly like every blocked waiter — it used
+        to be reactivated from its own clock, skipping the consensus wait."""
+        from repro.core.orchestrator import SemiSyncOrchestrator
+        from repro.sched.policies import SemiSyncRoundPolicy
+
+        resumed = []
+
+        class RecordingPolicy(SemiSyncRoundPolicy):
+            def _on_submission(self, aggregator):
+                before = len(self.closures)
+                super()._on_submission(aggregator)
+                if len(self.closures) > before and aggregator.name not in self._finished:
+                    # This cluster's landing closed the round and it resumes.
+                    release_time = self.closures[-1][4]
+                    resumed.append(("closer", aggregator.name, aggregator.clock.now(), release_time))
+
+            def _close_round(self, reason):
+                blocked = list(self._blocked.values())
+                release_time = super()._close_round(reason)
+                for waiter in blocked:
+                    resumed.append(("waiter", waiter.name, waiter.clock.now(), release_time))
+                return release_time
+
+        class RecordingOrchestrator(SemiSyncOrchestrator):
+            def _build_policy(self, ctx):
+                return RecordingPolicy(
+                    ctx, quorum_k=self.quorum_k, max_staleness=self.max_staleness
+                )
+
+        config = tiny_config("semi", event_streams=True)
+        runner = ExperimentRunner(config)
+        runner.build()
+        orchestration = RecordingOrchestrator(
+            runner.chain,
+            runner._driver_account,
+            runner.aggregators,
+            runner.timing_model,
+            comm=runner.comm,
+        ).run(config.rounds)
+
+        closures = orchestration.extras["closures"]
+        # Finality is strictly later than the close in event-stream mode, so
+        # the resume assertion below is not vacuous.
+        assert any(release > close for _, close, _, _, release in closures)
+        closers = [entry for entry in resumed if entry[0] == "closer"]
+        assert closers, "no quorum-triggering cluster resumed during the run"
+        for _, _, clock_at_resume, release_time in resumed:
+            assert clock_at_resume >= release_time - 1e-12
+
+    def test_closures_record_release_time_not_before_close(self):
+        result = ExperimentRunner(tiny_config("semi", event_streams=True)).run()
+        closures = result.orchestration_extras["closures"]
+        assert closures
+        for _, close_time, _, _, release_time in closures:
+            assert release_time >= close_time
+
+
+# ----------------------------------------------------------------- topology end to end
+def contended_config(**kwargs) -> ExperimentConfig:
+    """Four identical GPU clusters on a throttled link: heavy storage contention."""
+    return ExperimentConfig(
+        name="topo-contended",
+        workload=cifar10_workload(rounds=2, samples_per_class=10, image_size=8, learning_rate=0.05),
+        clusters=gpu_cluster_configs(num_clusters=4, num_clients=2),
+        mode="async",
+        rounds=2,
+        seed=3,
+        event_streams=True,
+        link_bandwidth_mbytes_per_s=0.05,
+        monitor_resources=False,
+        **kwargs,
+    )
+
+
+class TestTopologyExperiments:
+    def test_replicas_strictly_reduce_queueing_on_contended_workload(self):
+        single = ExperimentRunner(contended_config()).run()
+        double = ExperimentRunner(contended_config(storage_replicas=2)).run()
+        assert single.comm_metrics["network_queued"] > 0
+        for phase in ("upload", "download"):
+            assert (
+                double.comm_metrics[f"{phase}_queued"]
+                <= single.comm_metrics[f"{phase}_queued"]
+            )
+        assert double.comm_metrics["network_queued"] < single.comm_metrics["network_queued"]
+        assert double.max_total_time <= single.max_total_time
+
+    def test_replica_capacity_reduces_queueing(self):
+        serial = ExperimentRunner(contended_config()).run()
+        parallel = ExperimentRunner(contended_config(replica_capacity=2)).run()
+        assert parallel.comm_metrics["network_queued"] < serial.comm_metrics["network_queued"]
+        assert parallel.max_total_time <= serial.max_total_time
+
+    def test_per_replica_metrics_and_table(self):
+        result = ExperimentRunner(
+            contended_config(storage_replicas=2, replica_capacity=2)
+        ).run()
+        metrics = result.comm_metrics
+        assert metrics["storage_replicas"] == 2
+        assert metrics["replica_storage-0_count"] > 0
+        assert metrics["replica_storage-1_count"] > 0
+        total_transfers = metrics["upload_count"] + metrics["download_count"]
+        assert (
+            metrics["replica_storage-0_count"] + metrics["replica_storage-1_count"]
+            == total_transfers
+        )
+        table = format_comm_table(result)
+        assert "replica storage-0" in table and "replica storage-1" in table
+
+    def test_least_loaded_selection_uses_every_replica(self):
+        result = ExperimentRunner(
+            contended_config(storage_replicas=2, replica_selection="least-loaded")
+        ).run()
+        metrics = result.comm_metrics
+        assert metrics["replica_storage-0_count"] > 0
+        assert metrics["replica_storage-1_count"] > 0
+
+    def test_topology_runs_are_deterministic(self):
+        first = ExperimentRunner(contended_config(storage_replicas=3, replica_capacity=2)).run()
+        second = ExperimentRunner(contended_config(storage_replicas=3, replica_capacity=2)).run()
+        assert first.comm_metrics == second.comm_metrics
+        for a, b in zip(first.aggregators, second.aggregators):
+            assert a.total_time == b.total_time

@@ -76,8 +76,11 @@ class TestCSVExport:
             "experiment", "mode", "partitioning", "scoring_algorithm", "rounds",
             "aggregator", "policy", "strategy", "total_time", "idle_time",
             "straggler_count", "global_accuracy", "global_loss", "local_accuracy", "local_loss",
+            "network_queued_s", "chain_wait_s",
         }
         assert set(rows[0]) == expected
+        # Constant-cost runs leave the event-stream totals empty, not zero.
+        assert rows[0]["network_queued_s"] == ""
 
 
 class TestCLI:

@@ -74,6 +74,27 @@ class TestHardwareProfiles:
         assert GPU_NODE.transfer_time(0) == pytest.approx(GPU_NODE.latency_s)
         assert GPU_NODE.transfer_time(10_000_000) > GPU_NODE.latency_s
 
+    def test_bandwidth_unit_is_megabytes_per_second(self):
+        """Pin the bytes/s conversion: the bandwidth field is mega*bytes*/s
+        (1 MB = 1e6 bytes), despite the Mbps look of its former name."""
+        profile = HardwareProfile(
+            name="unit-probe",
+            samples_per_second=1.0,
+            bandwidth_mbytes_per_s=8.0,
+            latency_s=0.5,
+            memory_mb=1.0,
+            train_cpu_percent=1.0,
+        )
+        # 16 MB at 8 MB/s is 2 s of serialisation on top of the latency; a
+        # megabit reading (8 Mbit/s = 1 MB/s) would give 16 s instead.
+        assert profile.transfer_time(16_000_000) == pytest.approx(0.5 + 2.0)
+        assert GPU_NODE.transfer_time(125_000_000) == pytest.approx(GPU_NODE.latency_s + 1.0)
+
+    def test_bandwidth_mbps_is_a_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning):
+            value = GPU_NODE.bandwidth_mbps
+        assert value == GPU_NODE.bandwidth_mbytes_per_s
+
     def test_lookup_by_name(self):
         assert profile_by_name("jetson-nano") is JETSON_NANO
         with pytest.raises(ValueError):
