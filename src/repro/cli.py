@@ -94,6 +94,7 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         storage_replicas=args.storage_replicas,
         replica_capacity=args.replica_capacity,
         replica_selection=args.replica_selection,
+        replication_mode=args.replication_mode,
         wan_latency_s=args.wan_latency,
         wan_bandwidth_mbytes_per_s=args.wan_bandwidth,
     )
@@ -157,6 +158,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         dest="replica_selection",
         help="event streams: replica picked per transfer — the cluster's own site "
         "(affinity) or the deterministically least-loaded one",
+    )
+    parser.add_argument(
+        "--replication-mode", choices=["eager", "lazy", "none"], default="eager",
+        dest="replication_mode",
+        help="event streams: how uploads reach the other storage replicas — pushed "
+        "to every peer right after the upload (eager), fetched on demand when a "
+        "download misses (lazy), or never (none: downloads are pinned to the "
+        "origin replica)",
     )
     parser.add_argument(
         "--wan-latency", type=float, default=0.05, dest="wan_latency",

@@ -247,12 +247,14 @@ class UnifyFLAggregator:
         selected = self.aggregation_policy.select(usable, self_candidate=self_candidate, rng=self._rng)
 
         peer_weight_sets: List[Weights] = []
+        pulled_cids: List[str] = []
         include_self = False
         for candidate in selected:
             if candidate.is_self:
                 include_self = True
                 continue
             peer_weight_sets.append(self.fetch_weights(candidate.cid))
+            pulled_cids.append(candidate.cid)
 
         num_pulled = len(peer_weight_sets)
         if peer_weight_sets:
@@ -266,7 +268,11 @@ class UnifyFLAggregator:
             self.global_weights = [np.array(w, copy=True) for w in self.local_weights]
 
         if self.comm is not None:
-            timing.pull_time = self.comm.download(self.name, num_pulled, at=self.clock.now())
+            # CIDs identify the artifacts so the fabric can gate each fetch
+            # on the object's availability at the serving replica.
+            timing.pull_time = self.comm.download(
+                self.name, num_pulled, at=self.clock.now(), object_ids=pulled_cids
+            )
         else:
             timing.pull_time = self.timing.transfer_time(self.config.aggregator_profile, num_pulled)
         timing.aggregation_time = self.timing.aggregation_time(self.config, num_pulled + 1)
@@ -300,7 +306,9 @@ class UnifyFLAggregator:
         cid = self.ipfs.add(payload)
         if self.comm is not None:
             now = self.clock.now()
-            timing.store_time = self.comm.upload(self.name, 1, at=now)
+            timing.store_time = self.comm.upload(
+                self.name, 1, at=now, object_ids=[str(cid)]
+            )
             timing.chain_time = self.comm.chain_op(
                 "submitModel", self.name, at=now + timing.store_time
             )
@@ -337,11 +345,13 @@ class UnifyFLAggregator:
         if isinstance(self.scorer, MultiKRUMScorer) or self.scorer.requires_full_round:
             round_context = self._collect_round_weights()
         scored = 0
+        scored_cids: List[str] = []
         for cid in assigned:
             try:
                 weights = self.fetch_weights(cid)
             except Exception:
                 continue
+            scored_cids.append(cid)
             if round_context is not None:
                 score = self.scorer.score(weights, context={"round_weights": round_context, "cid": cid})
             else:
@@ -358,7 +368,9 @@ class UnifyFLAggregator:
         timing.scoring_time = self.timing.scoring_time(self.config, scored, algorithm=self.scorer.name)
         if self.comm is not None:
             now = self.clock.now()
-            timing.pull_time = self.comm.download(self.name, scored, at=now)
+            timing.pull_time = self.comm.download(
+                self.name, scored, at=now, object_ids=scored_cids
+            )
             timing.chain_time = self.comm.chain_op(
                 "submitScore", self.name, at=now + timing.pull_time + timing.scoring_time,
                 num_transactions=scored,

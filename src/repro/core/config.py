@@ -224,8 +224,16 @@ class ExperimentConfig:
     replica_capacity: int = 1
     #: event streams only: how the network actor picks a replica per
     #: transfer — "affinity" (the cluster's own site) or "least-loaded"
-    #: (deterministic smallest backlog per capacity slot).
+    #: (deterministic smallest estimated completion time: backlog per
+    #: capacity slot plus path wire time).
     replica_selection: str = "affinity"
+    #: event streams only: how uploaded artifacts reach the other storage
+    #: replicas — "eager" (origin pushes to every peer right after the
+    #: upload commits), "lazy" (a download miss triggers an on-demand
+    #: origin→replica fetch the downloader waits behind) or "none"
+    #: (downloads are pinned to the origin replica).  Irrelevant with a
+    #: single replica.
+    replication_mode: str = "eager"
     #: event streams only: one-way latency of the WAN link between two
     #: replica sites, in simulated seconds.
     wan_latency_s: float = 0.05
@@ -275,6 +283,8 @@ class ExperimentConfig:
             raise ValueError("replica_capacity must be at least 1")
         if self.replica_selection not in ("affinity", "least-loaded"):
             raise ValueError("replica_selection must be 'affinity' or 'least-loaded'")
+        if self.replication_mode not in ("eager", "lazy", "none"):
+            raise ValueError("replication_mode must be 'eager', 'lazy' or 'none'")
         if self.wan_latency_s < 0:
             raise ValueError("wan_latency_s must be non-negative")
         if self.wan_bandwidth_mbytes_per_s <= 0:

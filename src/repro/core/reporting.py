@@ -134,6 +134,10 @@ _CSV_COLUMNS = [
     # flat CSV alone.
     "network_queued_s",
     "chain_wait_s",
+    # Inter-replica propagation traffic (eager pushes + lazy fetches).
+    "replication_time_s",
+    "replication_queued_s",
+    "replication_count",
 ]
 
 
@@ -151,6 +155,9 @@ def save_results_csv(results: Iterable[ExperimentResult], path: PathLike) -> Pat
                     {
                         "network_queued_s": f"{comm['network_queued']:.3f}" if comm else "",
                         "chain_wait_s": f"{comm['chain_wait']:.3f}" if comm else "",
+                        "replication_time_s": f"{comm.get('replication_time', 0.0):.3f}" if comm else "",
+                        "replication_queued_s": f"{comm.get('replication_queued', 0.0):.3f}" if comm else "",
+                        "replication_count": f"{comm.get('replication_count', 0.0):.0f}" if comm else "",
                         "experiment": result.name,
                         "mode": result.mode,
                         "partitioning": result.partitioning,

@@ -123,7 +123,7 @@ def format_comm_table(result: ExperimentResult) -> str:
         return "Communication report: run with event_streams=True to collect per-phase I/O."
     header = f"{'Stream':<28}{'Time (s)':>12}{'Queued (s)':>12}{'Events':>10}"
     lines = [f"Communication / chain event streams ({result.name})", header, "-" * len(header)]
-    for phase in ("upload", "download"):
+    for phase in ("upload", "download", "replication"):
         if f"{phase}_time" in metrics:
             lines.append(
                 f"{'network ' + phase:<28}{metrics[f'{phase}_time']:>12.2f}"
@@ -132,7 +132,9 @@ def format_comm_table(result: ExperimentResult) -> str:
     replicas = sorted(
         key[len("replica_"):-len("_time")]
         for key in metrics
-        if key.startswith("replica_") and key.endswith("_time")
+        if key.startswith("replica_")
+        and key.endswith("_time")
+        and not key.endswith("_replication_time")
     )
     for replica in replicas:
         lines.append(
@@ -140,6 +142,17 @@ def format_comm_table(result: ExperimentResult) -> str:
             f"{metrics[f'replica_{replica}_queued']:>12.2f}"
             f"{metrics[f'replica_{replica}_count']:>10.0f}"
         )
+    for replica in replicas:
+        # Propagation traffic *into* each site (eager pushes + lazy fetches);
+        # only shown when any replication actually flowed.
+        count = metrics.get(f"replica_{replica}_replication_count", 0.0)
+        if count:
+            lines.append(
+                f"{'replicate -> ' + replica:<28}"
+                f"{metrics[f'replica_{replica}_replication_time']:>12.2f}"
+                f"{metrics[f'replica_{replica}_replication_queued']:>12.2f}"
+                f"{count:>10.0f}"
+            )
     kinds = sorted(
         key[len("chain_wait_"):] for key in metrics if key.startswith("chain_wait_")
     )

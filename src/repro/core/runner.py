@@ -194,6 +194,12 @@ class ExperimentRunner:
         bit-identically: an *uncontended* transfer costs exactly what the
         constant model charged — only queueing and chain quantisation add
         time on top.
+
+        With several replicas, replication is on the books: an upload lands
+        on one site only and ``replication_mode`` (eager / lazy / none)
+        governs how — and whether — the artifact reaches the others, as real
+        WAN transfers downloads are availability-gated on (the aggregators
+        thread IPFS CIDs through the fabric for this).
         """
         config = self.config
         if not config.event_streams:
@@ -228,6 +234,7 @@ class ExperimentRunner:
             topology=topology,
             model_bytes=self.timing_model.nominal_model_bytes,
             selection=config.replica_selection,
+            replication_mode=config.replication_mode,
         )
         # ``is not None`` rather than truthiness: an explicit block_interval of
         # 0 is rejected by config validation, but the same falsy-zero trap bit

@@ -13,8 +13,10 @@ quorum/staleness-bounded rounds (semi-sync).
   :class:`~repro.sched.policies.RoundPolicy` base class for writing new ones.
 * :mod:`repro.sched.actors` — network and chain actors that promote model
   transfers and contract calls to first-class event streams (link contention
-  over a replicated storage topology, block-interval quantisation, Clique
-  consensus delay), enabled per experiment with ``event_streams=True``.
+  over a replicated storage topology with on-the-books replication traffic —
+  eager pushes, lazy fetches, availability-gated downloads — block-interval
+  quantisation, Clique consensus delay), enabled per experiment with
+  ``event_streams=True``.
 
 See ``docs/scheduling.md`` and ``docs/architecture.md`` for the design and a
 guide to custom policies.

@@ -14,6 +14,17 @@ middleware literature insists the middle tier must expose:
   *replicas* with parallel capacity and WAN links between sites, and the
   actor picks a replica per transfer (cluster affinity or deterministic
   least-loaded).
+* **Replication is not free** — an upload lands on exactly one replica;
+  every other site only holds the artifact once a real origin→replica WAN
+  transfer has delivered it.  The actor keeps a
+  :class:`~repro.simnet.replication.ReplicaDirectory` (when each object
+  arrives where) and schedules the propagation itself, under one of three
+  policies (``replication_mode``): **eager** pushes to every peer right
+  after the upload commits, **lazy** fetches on demand when a download
+  misses (the downloader waits behind the fetch), and **none** pins every
+  download to the object's origin replica.  Downloads are read-your-writes
+  gated: a download from replica *r* starts no earlier than the object's
+  arrival at *r*.
 * **Consensus latency** — a transaction is not final when it is sent; it is
   final when the next Clique block seals it.  The :class:`ChainActor`
   quantises every contract interaction to the block-interval grid and adds
@@ -31,16 +42,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.clique import TX_VALIDATION_COST_S as TX_COST_S
 from repro.simnet.network import LinkScheduler, NetworkModel, ScheduledTransfer, Topology
+from repro.simnet.replication import REPLICATION_MODES, ReplicaDirectory
 
 #: endpoint name of the storage swarm in the single-replica (default) layout.
 STORAGE_ENDPOINT = "storage"
 
 #: replica-selection policies understood by :class:`NetworkActor`.
 REPLICA_SELECTIONS = ("affinity", "least-loaded")
+
+#: transfer phases the network actor labels its events with.
+TRANSFER_PHASES = ("upload", "download", "replication")
 
 
 @dataclass(frozen=True)
@@ -94,8 +109,17 @@ class NetworkActor:
             replica capacities and each cluster's home replica.
         selection: replica-selection policy — ``"affinity"`` always uses a
             cluster's home replica, ``"least-loaded"`` deterministically
-            picks the replica with the smallest outstanding backlog per
-            capacity slot (declaration order breaks ties).
+            picks the replica with the smallest *estimated completion time*
+            (outstanding backlog per capacity slot plus the composed path
+            wire time, so an empty-but-remote replica never beats a home
+            replica that is strictly faster end to end; declaration order
+            breaks ties).
+        replication_mode: how uploaded artifacts reach the other replicas —
+            ``"eager"`` (origin pushes to every peer right after the upload
+            commits), ``"lazy"`` (a download miss triggers an on-demand
+            origin→replica fetch the downloader waits behind) or ``"none"``
+            (downloads are pinned to the origin replica).  Irrelevant with a
+            single replica, where all three modes are bit-identical.
     """
 
     def __init__(
@@ -104,11 +128,14 @@ class NetworkActor:
         model_bytes: int = 1,
         topology: Optional[Topology] = None,
         selection: str = "affinity",
+        replication_mode: str = "eager",
     ):
         if model_bytes <= 0:
             raise ValueError("model_bytes must be positive")
         if selection not in REPLICA_SELECTIONS:
             raise ValueError(f"selection must be one of {REPLICA_SELECTIONS}")
+        if replication_mode not in REPLICATION_MODES:
+            raise ValueError(f"replication_mode must be one of {REPLICATION_MODES}")
         if topology is not None and network is not None:
             raise ValueError("pass either a network or a topology, not both")
         self.topology = topology
@@ -119,22 +146,42 @@ class NetworkActor:
             self.scheduler = LinkScheduler(network)
             self.replicas = [STORAGE_ENDPOINT]
         self.selection = selection
+        self.replication_mode = replication_mode
         self.model_bytes = int(model_bytes)
+        #: per-object availability ledger; only populated in multi-replica
+        #: layouts for transfers that carry object ids.
+        self.directory = ReplicaDirectory()
         #: transfers committed *through this actor*, each paired with its
-        #: phase label ("upload" / "download").  Owned here rather than
-        #: zipped against ``scheduler.log`` so direct commits on the public
-        #: scheduler cannot shift the labelling.
+        #: phase label ("upload" / "download" / "replication").  Owned here
+        #: rather than zipped against ``scheduler.log`` so direct commits on
+        #: the public scheduler cannot shift the labelling.
         self._events: List[Tuple[ScheduledTransfer, str]] = []
 
     # -------------------------------------------------------- replica selection
-    def select_replica(self, endpoint: str, at: float) -> str:
+    def select_replica(
+        self,
+        endpoint: str,
+        at: float,
+        object_id: Optional[str] = None,
+        phase: str = "upload",
+    ) -> str:
         """The replica a transfer from ``endpoint`` requested ``at`` would use.
 
-        Pure and deterministic: reads only committed reservations, so an
-        estimate and the commit that follows it pick the same replica.
+        Pure and deterministic: reads only committed reservations and the
+        availability ledger, so an estimate and the commit that follows it
+        pick the same replica.  Downloads of a ledger-known object respect
+        availability: with ``replication_mode="none"`` they are pinned to the
+        object's origin, and least-loaded ranking charges each candidate the
+        wait until the object's arrival there (plus, in lazy mode, the
+        on-demand fetch a miss would cost).
         """
         if len(self.replicas) == 1:
             return self.replicas[0]
+        downloading = phase == "download" and self.directory.known(object_id)
+        if downloading and self.replication_mode == "none":
+            origin = self.directory.origin(object_id)
+            assert origin is not None
+            return origin
         if self.selection == "affinity":
             assert self.topology is not None
             return self.topology.home_replica(endpoint)
@@ -142,42 +189,153 @@ class NetworkActor:
         chosen = self.replicas[0]
         for index, replica in enumerate(self.replicas):
             backlog = self.scheduler.outstanding_backlog(replica, at)
-            key = (backlog / self.scheduler.capacity(replica), index)
+            wire = self.scheduler.network.transfer_time(endpoint, replica, self.model_bytes)
+            cost = backlog / self.scheduler.capacity(replica) + wire
+            if downloading:
+                cost += self._availability_lag(object_id, replica, at)
+            key = (cost, index)
             if best is None or key < best:
                 best = key
                 chosen = replica
         return chosen
 
+    def _availability_lag(self, object_id: str, replica: str, at: float) -> float:
+        """Extra seconds before ``object_id`` could leave ``replica`` (closed form).
+
+        Zero once the object has arrived; the wait until its scheduled
+        arrival otherwise; and for a replica with no arrival scheduled, the
+        wire time of the on-demand origin→replica fetch a lazy miss would
+        commit (on top of waiting out the origin's own arrival).
+        """
+        arrival = self.directory.arrival(object_id, replica)
+        if arrival is not None:
+            return max(0.0, arrival - at)
+        origin = self.directory.origin(object_id)
+        assert origin is not None
+        origin_arrival = self.directory.arrival(object_id, origin) or 0.0
+        fetch = self.scheduler.network.transfer_time(origin, replica, self.model_bytes)
+        return max(0.0, origin_arrival - at) + fetch
+
     # ------------------------------------------------------------------ streams
-    def upload(self, endpoint: str, num_models: int, at: float) -> float:
+    def upload(
+        self,
+        endpoint: str,
+        num_models: int,
+        at: float,
+        object_ids: Optional[Sequence[str]] = None,
+    ) -> float:
         """Move ``num_models`` models from ``endpoint`` into storage.
 
         Models are transferred one after another (each is a separate event on
         the link), so other clusters' transfers can interleave between them.
-        Returns the total elapsed seconds the caller experienced.
+        When ``object_ids`` names the artifacts (one id per model), each
+        upload is recorded in the availability ledger and — in eager mode —
+        immediately followed by background origin→peer propagation transfers
+        on the shared schedule.  Returns the total elapsed seconds the caller
+        experienced (propagation runs off the caller's critical path and is
+        *not* included).
         """
         if num_models <= 0:
             return 0.0
-        replica = self.select_replica(endpoint, at)
-        return self._stream(endpoint, replica, num_models, at, phase="upload")
+        cursor = at
+        for object_id in self._object_sequence(object_ids, num_models):
+            replica = self.select_replica(endpoint, cursor, object_id, phase="upload")
+            scheduled = self.scheduler.transfer(endpoint, replica, self.model_bytes, cursor)
+            self._events.append((scheduled, "upload"))
+            cursor = scheduled.finished_at
+            if object_id is not None and len(self.replicas) > 1:
+                self.directory.record_upload(object_id, replica, cursor)
+                if self.replication_mode == "eager":
+                    self._propagate(object_id, replica, cursor)
+        return cursor - at
 
-    def download(self, endpoint: str, num_models: int, at: float) -> float:
+    def download(
+        self,
+        endpoint: str,
+        num_models: int,
+        at: float,
+        object_ids: Optional[Sequence[str]] = None,
+    ) -> float:
         """Move ``num_models`` models from storage to ``endpoint``.
 
-        Returns the total elapsed seconds the caller experienced.
+        When ``object_ids`` names the artifacts, each download is
+        read-your-writes gated: it starts no earlier than the object's
+        arrival at the serving replica (the wait is accounted as queued
+        time), and in lazy mode a miss first commits the on-demand
+        origin→replica fetch the downloader then waits behind.  Returns the
+        total elapsed seconds the caller experienced.
         """
         if num_models <= 0:
             return 0.0
-        replica = self.select_replica(endpoint, at)
-        return self._stream(replica, endpoint, num_models, at, phase="download")
-
-    def _stream(self, source: str, destination: str, num_models: int, at: float, phase: str) -> float:
         cursor = at
-        for _ in range(num_models):
-            scheduled = self.scheduler.transfer(source, destination, self.model_bytes, cursor)
-            self._events.append((scheduled, phase))
+        for object_id in self._object_sequence(object_ids, num_models):
+            replica = self.select_replica(endpoint, cursor, object_id, phase="download")
+            ready = self._ensure_available(object_id, replica, cursor, commit=True)
+            scheduled = self.scheduler.transfer(
+                replica, endpoint, self.model_bytes, cursor, earliest_start=ready
+            )
+            self._events.append((scheduled, "download"))
             cursor = scheduled.finished_at
         return cursor - at
+
+    @staticmethod
+    def _object_sequence(
+        object_ids: Optional[Sequence[str]], num_models: int
+    ) -> List[Optional[str]]:
+        """One object id per transferred model (all ``None`` when unnamed)."""
+        if object_ids is None:
+            return [None] * num_models
+        if len(object_ids) != num_models:
+            raise ValueError(
+                f"object_ids must name every model: got {len(object_ids)} ids "
+                f"for {num_models} models"
+            )
+        return list(object_ids)
+
+    def _propagate(self, object_id: str, origin: str, at: float) -> None:
+        """Eagerly push one freshly-uploaded object from its origin to every peer.
+
+        Each push is a real WAN transfer on the shared schedule (it occupies
+        a slot on both sites), committed in replica declaration order for
+        determinism; the ledger records the object's arrival at each peer.
+        """
+        for replica in self.replicas:
+            if replica == origin:
+                continue
+            scheduled = self.scheduler.transfer(origin, replica, self.model_bytes, at)
+            self._events.append((scheduled, "replication"))
+            self.directory.record_arrival(object_id, replica, scheduled.finished_at)
+
+    def _ensure_available(
+        self, object_id: Optional[str], replica: str, at: float, commit: bool
+    ) -> float:
+        """Earliest time ``object_id`` can leave ``replica`` (read-your-writes).
+
+        Unknown objects and single-replica layouts are pre-seeded (``at``
+        unchanged — the legacy free-replication semantics).  A ledger miss at
+        ``replica`` is resolved by an on-demand origin→replica fetch which is
+        committed to the schedule when ``commit`` is true (the lazy path) and
+        merely planned otherwise (pure estimates).
+        """
+        if len(self.replicas) == 1 or not self.directory.known(object_id):
+            return at
+        assert object_id is not None
+        arrival = self.directory.arrival(object_id, replica)
+        if arrival is not None:
+            return max(at, arrival)
+        origin = self.directory.origin(object_id)
+        assert origin is not None
+        origin_ready = max(at, self.directory.arrival(object_id, origin) or 0.0)
+        if commit:
+            fetch = self.scheduler.transfer(
+                origin, replica, self.model_bytes, at, earliest_start=origin_ready
+            )
+            self._events.append((fetch, "replication"))
+            self.directory.record_arrival(object_id, replica, fetch.finished_at)
+            return fetch.finished_at
+        return self.scheduler.preview(
+            origin, replica, self.model_bytes, at, earliest_start=origin_ready
+        ).finished_at
 
     def estimate_upload(self, endpoint: str, at: float) -> float:
         """Elapsed seconds a one-model upload requested ``at`` would take.
@@ -185,8 +343,42 @@ class NetworkActor:
         Pure: nothing is committed to the schedule.  Used by the sync policy's
         straggler decision (can this cluster still make the window?).
         """
-        replica = self.select_replica(endpoint, at)
+        replica = self.select_replica(endpoint, at, phase="upload")
         return self.scheduler.estimate(endpoint, replica, self.model_bytes, at)
+
+    def estimate_download(self, endpoint: str, at: float, object_id: Optional[str] = None) -> float:
+        """Elapsed seconds a one-model download requested ``at`` would take.
+
+        Pure, and exact: it mirrors the commit path — same replica choice,
+        same availability gate, and in lazy mode the same on-demand fetch the
+        download would wait behind (planned, not committed).
+        """
+        replica = self.select_replica(endpoint, at, object_id, phase="download")
+        ready = self._ensure_available(object_id, replica, at, commit=False)
+        plan = self.scheduler.preview(
+            replica, endpoint, self.model_bytes, at, earliest_start=ready
+        )
+        return plan.finished_at - at
+
+    def estimate_replication_lag(self, endpoint: str, at: float) -> float:
+        """Worst-case extra seconds before a submission at ``at`` is fetchable everywhere.
+
+        In lazy mode with several replicas, a model uploaded now only lives at
+        its origin; the first remote consumer pays an on-demand origin→peer
+        fetch.  The sync straggler decision charges that possible fetch to the
+        submission estimate, so a cluster is not declared window-safe on the
+        strength of a submission nobody can read in time.  Eager mode pushes
+        in the background and ``none`` never propagates, so both (and any
+        single-replica layout) cost nothing here.
+        """
+        if self.replication_mode != "lazy" or len(self.replicas) == 1:
+            return 0.0
+        origin = self.select_replica(endpoint, at, phase="upload")
+        return max(
+            self.scheduler.network.transfer_time(origin, peer, self.model_bytes)
+            for peer in self.replicas
+            if peer != origin
+        )
 
     # ---------------------------------------------------------------- reporting
     def transfers(self, phase: Optional[str] = None) -> List[ScheduledTransfer]:
@@ -196,12 +388,15 @@ class NetworkActor:
     def phase_totals(self) -> Dict[str, Dict[str, float]]:
         """Per-phase ``{"time": wire seconds, "queued": queued seconds, "count": n}``.
 
-        Every phase is always present (zeros when idle) so the exported
-        metrics schema is stable across runs.
+        Every phase (upload / download / replication) is always present
+        (zeros when idle) so the exported metrics schema is stable across
+        runs.  For downloads, ``queued`` includes availability gating — the
+        read-your-writes wait for the object to arrive at the serving
+        replica.
         """
         totals: Dict[str, Dict[str, float]] = {
             phase: {"time": 0.0, "queued": 0.0, "count": 0.0}
-            for phase in ("upload", "download")
+            for phase in TRANSFER_PHASES
         }
         for transfer, phase in self._events:
             bucket = totals[phase]
@@ -211,17 +406,43 @@ class NetworkActor:
         return totals
 
     def replica_totals(self) -> Dict[str, Dict[str, float]]:
-        """Per-replica ``{"time", "queued", "count"}`` over both phases.
+        """Per-replica ``{"time", "queued", "count"}`` over the caller-facing phases.
 
-        Every declared replica is always present (zeros when idle) so sweeps
-        over replica counts export a stable schema.
+        Counts the transfers each replica *served* (uploads into it,
+        downloads out of it); inter-replica propagation traffic is reported
+        separately by :meth:`replication_totals`.  Every declared replica is
+        always present (zeros when idle) so sweeps over replica counts export
+        a stable schema.
         """
         totals: Dict[str, Dict[str, float]] = {
             replica: {"time": 0.0, "queued": 0.0, "count": 0.0} for replica in self.replicas
         }
         for transfer, phase in self._events:
+            if phase == "replication":
+                continue
             replica = transfer.destination if phase == "upload" else transfer.source
             bucket = totals.get(replica)
+            if bucket is None:
+                continue
+            bucket["time"] += transfer.duration
+            bucket["queued"] += transfer.queued_time
+            bucket["count"] += 1.0
+        return totals
+
+    def replication_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-replica propagation ``{"time", "queued", "count"}``, by receiving site.
+
+        Eager pushes and lazy fetches *into* each replica (the WAN traffic
+        that actually distributes an artifact).  Every declared replica is
+        always present (zeros when idle).
+        """
+        totals: Dict[str, Dict[str, float]] = {
+            replica: {"time": 0.0, "queued": 0.0, "count": 0.0} for replica in self.replicas
+        }
+        for transfer, phase in self._events:
+            if phase != "replication":
+                continue
+            bucket = totals.get(transfer.destination)
             if bucket is None:
                 continue
             bucket["time"] += transfer.duration
@@ -267,8 +488,11 @@ class ChainActor:
         # A transaction ready *exactly on* a boundary rides that boundary; only
         # strictly-later readiness waits for the next one.  (The old
         # ``floor + 1`` quantisation pushed the exact-boundary case a full
-        # interval into the future.)
-        block_index = int(math.ceil(ready / self.block_interval))
+        # interval into the future.)  The genesis block is off the grid: a
+        # transaction ready at exactly t=0 rides block 1, never "block 0"
+        # (which would make it final after only the consensus delay, before
+        # any block interval has elapsed).
+        block_index = max(1, int(math.ceil(ready / self.block_interval)))
         sealed = block_index * self.block_interval + self.consensus_delay
         return sealed, block_index
 
@@ -332,13 +556,33 @@ class CommFabric:
         self.chain = chain_actor
 
     # ------------------------------------------------------- aggregator-facing
-    def upload(self, endpoint: str, num_models: int, at: float) -> float:
-        """Elapsed seconds to push ``num_models`` models into storage."""
-        return self.network.upload(endpoint, num_models, at)
+    def upload(
+        self,
+        endpoint: str,
+        num_models: int,
+        at: float,
+        object_ids: Optional[Sequence[str]] = None,
+    ) -> float:
+        """Elapsed seconds to push ``num_models`` models into storage.
 
-    def download(self, endpoint: str, num_models: int, at: float) -> float:
-        """Elapsed seconds to fetch ``num_models`` models from storage."""
-        return self.network.download(endpoint, num_models, at)
+        ``object_ids`` (one per model, e.g. the IPFS CIDs) feed the replica
+        availability ledger so later downloads can be replication-gated.
+        """
+        return self.network.upload(endpoint, num_models, at, object_ids=object_ids)
+
+    def download(
+        self,
+        endpoint: str,
+        num_models: int,
+        at: float,
+        object_ids: Optional[Sequence[str]] = None,
+    ) -> float:
+        """Elapsed seconds to fetch ``num_models`` models from storage.
+
+        With ``object_ids`` the fetches respect each object's availability:
+        read-your-writes gating and, in lazy mode, on-demand fetches.
+        """
+        return self.network.download(endpoint, num_models, at, object_ids=object_ids)
 
     def chain_op(self, kind: str, endpoint: str, at: float, num_transactions: int = 1) -> float:
         """Elapsed seconds until ``num_transactions`` submitted ``at`` are final."""
@@ -351,19 +595,35 @@ class CommFabric:
         """Predicted cost of a full model submission (upload + finality).
 
         Pure — used by :class:`~repro.sched.policies.SyncRoundPolicy` to
-        decide whether a cluster can still make the training window.
+        decide whether a cluster can still make the training window.  In
+        lazy replication mode the estimate also charges the possible
+        on-demand origin→peer fetch a remote consumer would wait behind
+        (:meth:`NetworkActor.estimate_replication_lag`): a submission only
+        its origin site can read in time has not really made the window.
         """
         upload = self.network.estimate_upload(endpoint, at)
-        return upload + self.chain.estimate(at + upload, 1)
+        finality = self.chain.estimate(at + upload, 1)
+        return upload + finality + self.network.estimate_replication_lag(endpoint, at + upload)
+
+    def estimate_pull(self, endpoint: str, at: float, object_id: Optional[str] = None) -> float:
+        """Predicted cost of downloading one model, availability included.
+
+        Pure and exact against the commit path: same replica choice, same
+        read-your-writes gate, same (planned) lazy fetch on a miss.
+        """
+        return self.network.estimate_download(endpoint, at, object_id=object_id)
 
     # ---------------------------------------------------------------- reporting
     def summary(self) -> Dict[str, float]:
         """Flat per-phase communication/chain accounting for result documents.
 
         Keys are stable and JSON-friendly: ``upload_time`` / ``upload_queued``
-        / ``upload_count`` (ditto ``download_*``), ``replica_<name>_time`` /
-        ``_queued`` / ``_count`` per storage replica, ``chain_wait_<kind>``
-        and ``chain_ops_<kind>`` per interaction kind, plus totals.
+        / ``upload_count`` (ditto ``download_*`` and ``replication_*`` for
+        inter-replica propagation traffic), ``replica_<name>_time`` /
+        ``_queued`` / ``_count`` per storage replica plus
+        ``replica_<name>_replication_*`` propagation totals per receiving
+        site, ``chain_wait_<kind>`` and ``chain_ops_<kind>`` per interaction
+        kind, plus totals.
         """
         out: Dict[str, float] = {}
         for phase, bucket in sorted(self.network.phase_totals().items()):
@@ -374,6 +634,10 @@ class CommFabric:
             out[f"replica_{replica}_time"] = bucket["time"]
             out[f"replica_{replica}_queued"] = bucket["queued"]
             out[f"replica_{replica}_count"] = bucket["count"]
+        for replica, bucket in sorted(self.network.replication_totals().items()):
+            out[f"replica_{replica}_replication_time"] = bucket["time"]
+            out[f"replica_{replica}_replication_queued"] = bucket["queued"]
+            out[f"replica_{replica}_replication_count"] = bucket["count"]
         out["storage_replicas"] = float(len(self.network.replicas))
         out["network_time"] = self.network.scheduler.total_wire_time
         out["network_queued"] = self.network.scheduler.total_queued_time

@@ -25,9 +25,11 @@ When the :class:`OrchestrationContext` carries a
 :class:`~repro.sched.actors.CommFabric`, the policies consume the network and
 chain *event streams* instead of constant per-interaction costs: phase
 transitions wait for their transactions to seal, submission-cost predictions
-read the live link schedule, and the semi-sync quorum close releases waiters
-only at transaction finality.  Without a fabric every hook degenerates to a
-zero-cost no-op, preserving bit-identical constant-cost runs.
+read the live link schedule (including, under lazy replication, the possible
+on-demand fetch a consumer of the submission would wait behind), and the
+semi-sync quorum close releases waiters only at transaction finality.
+Without a fabric every hook degenerates to a zero-cost no-op, preserving
+bit-identical constant-cost runs.
 """
 
 from __future__ import annotations
@@ -105,7 +107,14 @@ class RoundPolicy:
         return self.ctx.comm.chain_op(kind, "driver", at=at, num_transactions=num_transactions)
 
     def _submission_cost(self, aggregator: "UnifyFLAggregator") -> float:
-        """Predicted cost of submitting one model right now (store + finality)."""
+        """Predicted cost of submitting one model right now.
+
+        Event-stream mode chains the contended store, the chain finality
+        and — under lazy replication — the possible on-demand origin→peer
+        fetch a remote consumer would wait behind, so the sync straggler
+        decision does not declare a cluster window-safe on the strength of a
+        submission no other site could read in time.
+        """
         if self.ctx.comm is not None:
             return self.ctx.comm.estimate_submission(aggregator.name, aggregator.clock.now())
         return self.ctx.timing.transfer_time(aggregator.config.aggregator_profile, 1) + \

@@ -16,6 +16,11 @@ containers).  This package provides the simulated equivalent:
   endpoint contention for the event-stream mode, and the
   :class:`~repro.simnet.network.Topology` builder for multi-site storage
   layouts (replicas with parallel capacity, LAN/WAN links).
+* :mod:`repro.simnet.replication` — the per-object availability ledger
+  (:class:`~repro.simnet.replication.ReplicaDirectory`) recording when each
+  uploaded artifact becomes present at each storage replica, so replication
+  traffic is scheduled and downloads are availability-gated instead of every
+  site holding every object for free.
 * :mod:`repro.simnet.resources` — CPU / memory usage accounting producing the
   paper's Table 7 system-overhead metrics.
 """
@@ -38,6 +43,7 @@ from repro.simnet.network import (
     ScheduledTransfer,
     Topology,
 )
+from repro.simnet.replication import REPLICATION_MODES, ReplicaDirectory
 from repro.simnet.resources import ProcessSample, ResourceMonitor, ResourceReport
 
 __all__ = [
@@ -56,6 +62,8 @@ __all__ = [
     "NetworkModel",
     "ScheduledTransfer",
     "Topology",
+    "REPLICATION_MODES",
+    "ReplicaDirectory",
     "ProcessSample",
     "ResourceMonitor",
     "ResourceReport",

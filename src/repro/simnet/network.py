@@ -160,10 +160,21 @@ class LinkScheduler:
         """Let ``endpoint`` admit up to ``capacity`` overlapping reservations.
 
         Affects future placements only; committed reservations are never
-        rescheduled, so set capacities before scheduling traffic.
+        rescheduled, so set capacities before scheduling traffic.  Lowering
+        the capacity of an endpoint that already carries committed traffic
+        raises: reservations placed under the higher capacity may overlap,
+        and the serial (``c = 1``) placement path assumes non-overlapping
+        busy intervals — silently keeping the old reservations would let
+        "serial" placements overlap them.
         """
         if capacity < 1:
             raise ValueError("endpoint capacity must be at least 1")
+        if capacity < self.capacity(endpoint) and self._busy.get(endpoint):
+            raise ValueError(
+                f"cannot lower the capacity of endpoint '{endpoint}' below "
+                f"{self.capacity(endpoint)}: it already carries committed traffic "
+                "scheduled under the higher capacity"
+            )
         self._capacity[endpoint] = int(capacity)
         if capacity > 1:
             boundaries: List[Tuple[float, int]] = []
@@ -263,10 +274,18 @@ class LinkScheduler:
                     break
         return start
 
-    def _plan(self, source: str, destination: str, num_bytes: int, at: float) -> ScheduledTransfer:
+    def _plan(
+        self,
+        source: str,
+        destination: str,
+        num_bytes: int,
+        at: float,
+        earliest_start: Optional[float] = None,
+    ) -> ScheduledTransfer:
         duration = self.network.transfer_time(source, destination, num_bytes)
         endpoints = [source] if source == destination else [source, destination]
-        start = self._earliest_start(endpoints, at, duration)
+        floor = at if earliest_start is None else max(at, earliest_start)
+        start = self._earliest_start(endpoints, floor, duration)
         return ScheduledTransfer(
             source=source,
             destination=destination,
@@ -276,6 +295,22 @@ class LinkScheduler:
             finished_at=start + duration,
         )
 
+    def preview(
+        self,
+        source: str,
+        destination: str,
+        num_bytes: int,
+        at: float,
+        earliest_start: Optional[float] = None,
+    ) -> ScheduledTransfer:
+        """The schedule a transfer requested ``at`` would get, uncommitted.
+
+        ``earliest_start`` floors the placement without moving the request
+        time — the gap between the two is accounted as queueing (the
+        replication layer uses it for read-your-writes availability gates).
+        """
+        return self._plan(source, destination, num_bytes, at, earliest_start)
+
     def estimate(self, source: str, destination: str, num_bytes: int, at: float) -> float:
         """Elapsed seconds a transfer requested ``at`` would take, uncommitted.
 
@@ -284,15 +319,26 @@ class LinkScheduler:
         """
         return self._plan(source, destination, num_bytes, at).elapsed
 
-    def transfer(self, source: str, destination: str, num_bytes: int, at: float) -> ScheduledTransfer:
+    def transfer(
+        self,
+        source: str,
+        destination: str,
+        num_bytes: int,
+        at: float,
+        earliest_start: Optional[float] = None,
+    ) -> ScheduledTransfer:
         """Commit a transfer requested at time ``at`` and return its schedule.
 
         The transfer reserves the earliest adequate gap on both endpoints;
-        transfers that overlap it in time queue into later gaps.
+        transfers that overlap it in time queue into later gaps.  When
+        ``earliest_start`` is given the placement additionally starts no
+        earlier than it (while ``requested_at`` stays ``at``, so the wait
+        shows up as queued time) — the hook availability-gated downloads
+        ride on.
         """
         if at < 0:
             raise ValueError("transfer request time must be non-negative")
-        scheduled = self._plan(source, destination, num_bytes, at)
+        scheduled = self._plan(source, destination, num_bytes, at, earliest_start)
         interval = (scheduled.started_at, scheduled.finished_at)
         endpoints = {source, destination}
         for endpoint in endpoints:

@@ -311,18 +311,23 @@ class TestNetworkActorReplicas:
         destinations = [t.destination for t in actor.transfers("upload")]
         assert destinations == ["site-a", "site-b"]
 
-    def test_least_loaded_accounts_for_capacity(self):
+    def test_least_loaded_accounts_for_capacity_and_path_cost(self):
+        """Ranking is estimated completion time: backlog per capacity slot
+        *plus* the composed path wire time (an empty remote replica no longer
+        beats a strictly faster home replica for free)."""
         topology = Topology(default_link=NetworkLink(latency_s=0.0, bandwidth_bytes_per_s=1e6))
         topology.add_replica("wide", capacity=4).add_replica("narrow", capacity=1)
         topology.add_cluster("agg1", "narrow")
         actor = NetworkActor(topology=topology, model_bytes=1_000_000, selection="least-loaded")
-        actor.upload("agg1", 1, at=0.0)           # both idle -> declaration order: wide
-        assert actor.transfers()[-1].destination == "wide"
-        # Load is backlog per capacity slot: wide now carries 1s/4 slots =
-        # 0.25, the idle narrow replica carries 0 and wins.
+        # Both idle: home narrow costs 1.0s wire, remote wide costs the WAN
+        # hop on top (0.05s latency) -> narrow wins despite declaration order.
         actor.upload("agg1", 1, at=0.0)
         assert actor.transfers()[-1].destination == "narrow"
-        # A third upload: narrow has 1s/1 slot = 1.0, wide still 0.25 -> wide.
+        # Narrow now carries 1s/1 slot + 1.0 wire = 2.0; wide 0 + 1.05 -> wide.
+        actor.upload("agg1", 1, at=0.0)
+        assert actor.transfers()[-1].destination == "wide"
+        # Wide's backlog is divided by its 4 slots: 1.05/4 + 1.05 = 1.31,
+        # still cheaper than narrow's 2.0 -> wide again.
         actor.upload("agg1", 1, at=0.0)
         assert actor.transfers()[-1].destination == "wide"
 

@@ -77,10 +77,12 @@ class TestCSVExport:
             "aggregator", "policy", "strategy", "total_time", "idle_time",
             "straggler_count", "global_accuracy", "global_loss", "local_accuracy", "local_loss",
             "network_queued_s", "chain_wait_s",
+            "replication_time_s", "replication_queued_s", "replication_count",
         }
         assert set(rows[0]) == expected
         # Constant-cost runs leave the event-stream totals empty, not zero.
         assert rows[0]["network_queued_s"] == ""
+        assert rows[0]["replication_count"] == ""
 
 
 class TestCLI:
