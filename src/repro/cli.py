@@ -13,8 +13,17 @@ without writing Python::
     python -m repro.cli run --mode async --event-streams \
         --link-bandwidth 10 --block-interval 2                   # contended I/O + chain delays
 
+    python -m repro.cli run --mode hierarchical --event-streams \
+        --storage-replicas 2 --local-rounds-per-global 2         # per-site local rounds + leaders
+
+    python -m repro.cli run --mode gossip --gossip-fanout 2      # barrier-free peer exchanges
+
     python -m repro.cli compare --workload cifar10 --rounds 6   # sync vs async vs semi vs baselines
-    python -m repro.cli policies                                 # list available policies
+    python -m repro.cli policies                                 # list available policies and modes
+
+The ``--mode`` choices come straight from the round-policy registry
+(:mod:`repro.sched.registry`): registering a new policy makes it runnable
+from here with no CLI changes.
 
 The same entry point is installed as the ``repro`` console script
 (``pip install -e .`` then ``repro run --mode semi ...``).
@@ -39,10 +48,12 @@ from repro.core.reporting import save_result_json, save_results_csv
 from repro.core.results import (
     format_comm_table,
     format_comparison,
+    format_policy_table,
     format_resource_table,
     format_run_table,
 )
 from repro.core.runner import ExperimentRunner
+from repro.sched.registry import get_policy, registered_modes
 
 
 def _build_workload(args: argparse.Namespace):
@@ -87,6 +98,9 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         seed=args.seed,
         semi_quorum_k=args.semi_quorum_k,
         max_staleness=args.max_staleness,
+        local_rounds_per_global=args.local_rounds_per_global,
+        round_budget=args.round_budget,
+        gossip_fanout=args.gossip_fanout,
         event_streams=args.event_streams,
         link_bandwidth_mbytes_per_s=args.link_bandwidth,
         link_latency_s=args.link_latency,
@@ -124,6 +138,21 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-staleness", type=float, default=None, dest="max_staleness",
         help="semi mode: simulated seconds before an open round closes without quorum",
+    )
+    parser.add_argument(
+        "--local-rounds-per-global", type=int, default=2, dest="local_rounds_per_global",
+        help="hierarchical mode: cheap LAN-priced local aggregation rounds each site "
+        "group runs per global round",
+    )
+    parser.add_argument(
+        "--round-budget", type=int, default=None, dest="round_budget",
+        help="hierarchical mode: cap on the total local training rounds each cluster "
+        "contributes across the run (default: unbounded)",
+    )
+    parser.add_argument(
+        "--gossip-fanout", type=int, default=2, dest="gossip_fanout",
+        help="gossip mode: peers each cluster exchanges models with per round "
+        "(0 = fully isolated training)",
     )
     parser.add_argument(
         "--event-streams", action="store_true", dest="event_streams",
@@ -185,7 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one UnifyFL experiment")
     _add_common_arguments(run_parser)
-    run_parser.add_argument("--mode", choices=["sync", "async", "semi"], default="async")
+    # The mode choices are derived from the round-policy registry, so a
+    # newly registered policy shows up here without CLI edits.
+    run_parser.add_argument("--mode", choices=registered_modes(), default="async")
     run_parser.add_argument("--json-out", default=None, help="write the full result document to this JSON file")
     run_parser.add_argument("--csv-out", default=None, help="append per-aggregator rows to this CSV file")
     run_parser.add_argument("--show-resources", action="store_true", help="print the Table-7-style resource report")
@@ -210,6 +241,10 @@ def _command_run(args: argparse.Namespace) -> int:
     if result.comm_metrics:
         print()
         print(format_comm_table(result))
+    policy_table = format_policy_table(result)
+    if policy_table:
+        print()
+        print(policy_table)
     if args.show_resources and result.resource_reports:
         print()
         print(format_resource_table(result.resource_reports))
@@ -246,6 +281,9 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_policies(_: argparse.Namespace) -> int:
     print("Aggregation policies:", ", ".join(available_aggregation_policies()))
     print("Scoring policies    :", ", ".join(available_scoring_policies()))
+    print("Orchestration modes :")
+    for mode in registered_modes():
+        print(f"  {mode:<14}{get_policy(mode).description}")
     return 0
 
 

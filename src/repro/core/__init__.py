@@ -57,6 +57,8 @@ from repro.core.multimodel import (
 )
 from repro.core.orchestrator import (
     AsyncOrchestrator,
+    GossipOrchestrator,
+    HierarchicalOrchestrator,
     OrchestrationResult,
     SemiSyncOrchestrator,
     SyncOrchestrator,
@@ -91,7 +93,9 @@ from repro.core.reporting import (
 from repro.core.results import (
     AggregatorResult,
     ExperimentResult,
+    format_comm_table,
     format_comparison,
+    format_policy_table,
     format_resource_table,
     format_run_table,
 )
@@ -139,6 +143,8 @@ __all__ = [
     "MultiModelParticipant",
     "MultiModelRoundRecord",
     "AsyncOrchestrator",
+    "GossipOrchestrator",
+    "HierarchicalOrchestrator",
     "OrchestrationResult",
     "SemiSyncOrchestrator",
     "SyncOrchestrator",
@@ -167,7 +173,9 @@ __all__ = [
     "save_results_csv",
     "AggregatorResult",
     "ExperimentResult",
+    "format_comm_table",
     "format_comparison",
+    "format_policy_table",
     "format_resource_table",
     "format_run_table",
     "ExperimentRunner",

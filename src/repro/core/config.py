@@ -13,6 +13,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.sched.registry import validate_mode_config
 from repro.simnet.hardware import (
     DOCKER_CONTAINER,
     EDGE_CPU_NODE,
@@ -176,7 +177,10 @@ class ExperimentConfig:
     name: str
     workload: WorkloadConfig
     clusters: List[ClusterConfig]
-    mode: str = "sync"  # "sync", "async" or "semi"
+    #: orchestration mode, validated against the round-policy registry
+    #: (:func:`repro.sched.registry.registered_modes`) — "sync", "async",
+    #: "semi", "hierarchical" and "gossip" are built in.
+    mode: str = "sync"
     partitioning: str = "dirichlet"  # "iid", "dirichlet" or "shard"
     dirichlet_alpha: float = 0.5
     #: "accuracy" / "loss" work in every mode; "multikrum" / "cosine" are
@@ -193,6 +197,16 @@ class ExperimentConfig:
     #: semi mode: simulated seconds after which an open round closes even
     #: without a quorum; ``None`` provisions one expected sync training window.
     max_staleness: Optional[float] = None
+    #: hierarchical mode: cheap LAN-priced local aggregation rounds each
+    #: site group runs per global round.
+    local_rounds_per_global: int = 2
+    #: hierarchical mode: cap on the total local training rounds each
+    #: cluster contributes across the run (``None`` = unbounded).  An
+    #: exhausted cluster keeps receiving group models but trains no further.
+    round_budget: Optional[int] = None
+    #: gossip mode: peers each cluster exchanges models with per round
+    #: (0 = fully isolated training).
+    gossip_fanout: int = 2
     block_period: float = 2.0
     #: sample resource usage for the Table 7 overhead report.
     monitor_resources: bool = True
@@ -242,18 +256,11 @@ class ExperimentConfig:
     wan_bandwidth_mbytes_per_s: float = 50.0
 
     def __post_init__(self) -> None:
-        if self.mode not in ("sync", "async", "semi"):
-            raise ValueError("mode must be 'sync', 'async' or 'semi'")
         if self.partitioning not in ("iid", "dirichlet", "shard"):
             raise ValueError("partitioning must be 'iid', 'dirichlet' or 'shard'")
         if self.scoring_algorithm not in ("accuracy", "loss", "multikrum", "cosine"):
             raise ValueError(
                 "scoring_algorithm must be 'accuracy', 'loss', 'multikrum' or 'cosine'"
-            )
-        if self.mode in ("async", "semi") and self.scoring_algorithm in ("multikrum", "cosine"):
-            raise ValueError(
-                "similarity-based scoring needs all models of a round at once and is only "
-                "supported in sync mode"
             )
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
@@ -262,6 +269,12 @@ class ExperimentConfig:
         if len({c.name for c in self.clusters}) != len(self.clusters):
             raise ValueError("cluster names must be unique")
         validate_semi_params(self.semi_quorum_k, self.max_staleness, len(self.clusters))
+        if self.local_rounds_per_global < 1:
+            raise ValueError("local_rounds_per_global must be at least 1")
+        if self.round_budget is not None and self.round_budget < 1:
+            raise ValueError("round_budget must be at least 1 when set")
+        if self.gossip_fanout < 0:
+            raise ValueError("gossip_fanout must be non-negative")
         if self.link_bandwidth_mbps is not None:
             warnings.warn(
                 "link_bandwidth_mbps is deprecated (the unit is megabytes/s); "
@@ -289,6 +302,11 @@ class ExperimentConfig:
             raise ValueError("wan_latency_s must be non-negative")
         if self.wan_bandwidth_mbytes_per_s <= 0:
             raise ValueError("wan_bandwidth_mbytes_per_s must be positive")
+        # Mode validation is registry-driven: an unknown mode fails here,
+        # at construction, with the list of registered names — and each
+        # mode's own validate hook rejects configurations it cannot run
+        # (e.g. similarity scoring outside sync).
+        validate_mode_config(self)
 
     @property
     def num_clusters(self) -> int:

@@ -11,16 +11,22 @@ The contract coordinates the two phases of every round:
   exposes every model together with the full list of scores so each aggregator
   can apply its own aggregation and scoring policies.
 
-In **sync** mode the contract enforces phase windows: models may only be
-submitted during the training phase and scores only during the scoring phase
-(anything later is disregarded, as in Section 3.2).  In **async** mode
-scorers are assigned immediately when a model CID is submitted (Section 3.3).
-In **semi** mode (bounded-staleness buffered-async) scorers are likewise
-assigned at submission, but the contract additionally *buffers* the round's
-submissions: ``closeSemiRound`` advances the round counter once a quorum of
-clusters has contributed or the driver decides the staleness bound expired,
-and ``getSemiRoundStatus`` exposes the buffer so the orchestrator can make
-that call.
+The contract's per-mode behaviour is derived from the round-policy registry
+(:mod:`repro.sched.registry`): each registered mode carries a
+:class:`~repro.sched.registry.ContractProfile` naming the three behavioural
+axes.  In **sync** mode (phase-gated) the contract enforces phase windows:
+models may only be submitted during the training phase and scores only
+during the scoring phase (anything later is disregarded, as in Section 3.2).
+In **async** mode scorers are assigned immediately when a model CID is
+submitted (Section 3.3) — **hierarchical** leader submissions behave the
+same way.  In **semi** mode (bounded-staleness buffered-async) scorers are
+likewise assigned at submission, but the contract additionally *buffers* the
+round's submissions: ``closeSemiRound`` advances the round counter once a
+quorum of clusters has contributed or the driver decides the staleness bound
+expired, and ``getSemiRoundStatus`` exposes the buffer so the orchestrator
+can make that call.  In **gossip** mode submissions are pure publications:
+recorded and auditable, but nobody is assigned to score them — each cluster
+judges what it merges.
 
 Submission and score records carry the submitting actor's simulated timestamp
 so asynchronous aggregators only observe state that existed at their local
@@ -35,6 +41,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.chain.contract import Contract, contract_method, view_method
 from repro.core.config import majority_quorum
+from repro.sched.registry import get_policy
 
 
 @dataclass
@@ -82,19 +89,21 @@ class UnifyFLContract(Contract):
     #: until the round is closed by quorum or staleness expiry.
     PHASE_BUFFERING = "buffering"
 
-    MODES = ("sync", "async", "semi")
-
     def __init__(self, mode: str = "sync", scorer_seed: int = 0, semi_quorum_k: int = 0):
         super().__init__()
-        if mode not in self.MODES:
-            raise ValueError(f"mode must be one of {self.MODES}")
+        # The accepted modes and their behaviour are derived from the
+        # round-policy registry: the spec's ContractProfile decides whether
+        # submissions are phase-gated, whether scorers are assigned at
+        # submission, and whether the semi round buffer is live — so a new
+        # registered policy needs no contract edits.
+        self._profile = get_policy(mode).contract
         if semi_quorum_k < 0:
             raise ValueError("semi_quorum_k must be non-negative (0 = majority)")
         self.mode = mode
         self.scorer_seed = scorer_seed
         self.aggregators: List[str] = []
-        self.current_round = 1 if mode == "semi" else 0
-        self.phase = self.PHASE_BUFFERING if mode == "semi" else self.PHASE_IDLE
+        self.current_round = 1 if self._profile.buffered else 0
+        self.phase = self.PHASE_BUFFERING if self._profile.buffered else self.PHASE_IDLE
         self.submissions: Dict[str, ModelSubmission] = {}
         self.round_submissions: Dict[int, List[str]] = {}
         #: scorer address -> list of CIDs awaiting that scorer's score.
@@ -146,7 +155,7 @@ class UnifyFLContract(Contract):
         self.require(sender in self.aggregators, "sender is not a registered aggregator")
         self.require(bool(cid), "cid must be non-empty")
         self.require(cid not in self.submissions, "this model CID was already submitted")
-        if self.mode == "sync":
+        if self._profile.phase_gated:
             self.require(
                 self.phase == self.PHASE_TRAINING,
                 "model submissions are only accepted during the training phase",
@@ -162,9 +171,9 @@ class UnifyFLContract(Contract):
         self.round_submissions.setdefault(round_number, []).append(cid)
         self.emit("ModelSubmitted", cid=cid, submitter=sender, round=round_number)
         self.ctx.charge(20_000)
-        if self.mode in ("async", "semi"):
+        if self._profile.assigns_scorers_on_submit:
             self._assign_scorers(submission)
-        if self.mode == "semi":
+        if self._profile.buffered:
             self.semi_buffer.append(cid)
             self.semi_submitters.add(sender)
             # Quorum counts distinct submitting clusters, not raw submissions
@@ -186,7 +195,7 @@ class UnifyFLContract(Contract):
     @contract_method
     def startScoring(self) -> Dict[str, List[str]]:
         """Close the training window and assign scorers to every submitted model."""
-        self.require(self.mode == "sync", "startScoring is only used in sync mode")
+        self.require(self._profile.phase_gated, "startScoring is only used in sync mode")
         self.require(self.phase == self.PHASE_TRAINING, "no training phase to close")
         self.phase = self.PHASE_SCORING
         assignments: Dict[str, List[str]] = {}
@@ -207,7 +216,7 @@ class UnifyFLContract(Contract):
         submission = self.submissions[cid]
         self.require(sender in submission.assigned_scorers, "sender is not an assigned scorer for this model")
         self.require(sender not in submission.scores, "scorer already submitted a score for this model")
-        if self.mode == "sync":
+        if self._profile.phase_gated:
             self.require(
                 self.phase == self.PHASE_SCORING,
                 "scores are only accepted during the scoring phase",
@@ -224,7 +233,7 @@ class UnifyFLContract(Contract):
     @contract_method
     def endRound(self) -> int:
         """Close the scoring window (Sync orchestration)."""
-        self.require(self.mode == "sync", "endRound is only used in sync mode")
+        self.require(self._profile.phase_gated, "endRound is only used in sync mode")
         self.require(self.phase == self.PHASE_SCORING, "no scoring phase to close")
         self.phase = self.PHASE_IDLE
         self.emit("RoundEnded", round=self.current_round)
@@ -240,7 +249,7 @@ class UnifyFLContract(Contract):
         submissions are buffered would make the SemiQuorumReached threshold
         crossing ambiguous (fire twice, or never).
         """
-        self.require(self.mode == "semi", "configureSemiRound is only used in semi mode")
+        self.require(self._profile.buffered, "configureSemiRound is only used in semi mode")
         self.require(quorum_k >= 0, "quorum_k must be non-negative")
         self.require(
             not self.aggregators or quorum_k <= len(self.aggregators),
@@ -263,7 +272,7 @@ class UnifyFLContract(Contract):
         staleness bound expired; the contract only checks that there is an open
         round with at least one buffered submission to close.
         """
-        self.require(self.mode == "semi", "closeSemiRound is only used in semi mode")
+        self.require(self._profile.buffered, "closeSemiRound is only used in semi mode")
         self.require(bool(self.semi_buffer), "cannot close a semi round with no submissions")
         closed = {
             "round": self.current_round,
@@ -287,7 +296,7 @@ class UnifyFLContract(Contract):
     @view_method
     def getSemiRoundStatus(self) -> Dict[str, Any]:
         """Open-round state in semi mode: buffer fill vs quorum, opening time."""
-        self.require(self.mode == "semi", "getSemiRoundStatus is only used in semi mode")
+        self.require(self._profile.buffered, "getSemiRoundStatus is only used in semi mode")
         quorum = self._effective_quorum()
         return {
             "round": self.current_round,

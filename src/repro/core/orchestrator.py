@@ -22,6 +22,17 @@ event stream:
   closes once ``quorum_k`` clusters have submitted or ``max_staleness``
   simulated seconds elapse, and a cluster that already fed the open round
   waits for the close before training again.
+* :class:`HierarchicalOrchestrator` — clusters grouped by topology site run
+  cheap LAN-priced local aggregation rounds; one rotating leader per site
+  submits over WAN/chain per global round, under a per-cluster round budget.
+* :class:`GossipOrchestrator` — barrier-free epidemic rounds: each cluster
+  pulls ``gossip_fanout`` deterministic seeded peers' published models,
+  merges locally, trains and re-publishes.
+
+Every orchestration mode registers itself with the round-policy registry
+(:mod:`repro.sched.registry`) at the bottom of this module; the runner, the
+``ExperimentConfig`` validation, the CLI ``--mode`` choices and the
+contract's behaviour profile are all derived from those registrations.
 """
 
 from __future__ import annotations
@@ -35,13 +46,21 @@ from repro.core.aggregator import AggregatorRoundRecord, UnifyFLAggregator
 from repro.core.timing import ClusterTimingModel
 from repro.sched.actors import CommFabric
 from repro.sched.kernel import SimulationKernel
-from repro.core.config import majority_quorum, validate_semi_params
+from repro.core.config import ExperimentConfig, majority_quorum, validate_semi_params
 from repro.sched.policies import (
     AsyncRoundPolicy,
+    GossipRoundPolicy,
+    HierarchicalRoundPolicy,
     OrchestrationContext,
     RoundPolicy,
     SemiSyncRoundPolicy,
     SyncRoundPolicy,
+)
+from repro.sched.registry import (
+    ContractProfile,
+    PolicyBuildContext,
+    PolicySpec,
+    register_policy,
 )
 
 
@@ -217,3 +236,182 @@ class SemiSyncOrchestrator(_BaseOrchestrator):
         return SemiSyncRoundPolicy(
             ctx, quorum_k=self.quorum_k, max_staleness=self.max_staleness
         )
+
+
+class HierarchicalOrchestrator(_BaseOrchestrator):
+    """Two-tier orchestration: local site rounds under a thin global tier."""
+
+    mode = "hierarchical"
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        driver_account: Account,
+        aggregators: Sequence[UnifyFLAggregator],
+        timing_model: ClusterTimingModel,
+        num_sites: int = 1,
+        local_rounds_per_global: int = 2,
+        round_budget: Optional[int] = None,
+        comm: Optional[CommFabric] = None,
+    ):
+        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
+        if num_sites < 1:
+            raise ValueError("num_sites must be at least 1")
+        if local_rounds_per_global < 1:
+            raise ValueError("local_rounds_per_global must be at least 1")
+        if round_budget is not None and round_budget < 1:
+            raise ValueError("round_budget must be at least 1 when set")
+        self.num_sites = num_sites
+        self.local_rounds_per_global = local_rounds_per_global
+        self.round_budget = round_budget
+
+    def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
+        return HierarchicalRoundPolicy(
+            ctx,
+            num_sites=self.num_sites,
+            local_rounds_per_global=self.local_rounds_per_global,
+            round_budget=self.round_budget,
+        )
+
+
+class GossipOrchestrator(_BaseOrchestrator):
+    """Barrier-free epidemic orchestration with a deterministic seeded fanout."""
+
+    mode = "gossip"
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        driver_account: Account,
+        aggregators: Sequence[UnifyFLAggregator],
+        timing_model: ClusterTimingModel,
+        fanout: int = 2,
+        seed: int = 0,
+        comm: Optional[CommFabric] = None,
+    ):
+        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
+        if fanout < 0:
+            raise ValueError("gossip fanout must be non-negative")
+        self.fanout = fanout
+        self.seed = seed
+
+    def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
+        return GossipRoundPolicy(ctx, fanout=self.fanout, seed=self.seed)
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations: every consumer of "what modes exist" (runner
+# dispatch, ExperimentConfig validation, CLI --mode choices, contract
+# behaviour) derives its view from these specs.
+# --------------------------------------------------------------------------
+
+def _reject_similarity_scoring(config: ExperimentConfig) -> None:
+    """Free-running modes never see a whole round at once."""
+    if config.scoring_algorithm in ("multikrum", "cosine"):
+        raise ValueError(
+            "similarity-based scoring needs all models of a round at once and is only "
+            "supported in sync mode"
+        )
+
+
+def _sync_factory(build: PolicyBuildContext) -> SyncOrchestrator:
+    config = build.config
+    return SyncOrchestrator(
+        build.chain,
+        build.driver,
+        build.aggregators,
+        build.timing,
+        training_window=config.phase_duration if config else None,
+        scoring_window=config.phase_duration if config else None,
+        scoring_algorithm=config.scoring_algorithm if config else "accuracy",
+        comm=build.comm,
+    )
+
+
+def _async_factory(build: PolicyBuildContext) -> AsyncOrchestrator:
+    return AsyncOrchestrator(
+        build.chain, build.driver, build.aggregators, build.timing, comm=build.comm
+    )
+
+
+def _semi_factory(build: PolicyBuildContext) -> SemiSyncOrchestrator:
+    config = build.config
+    return SemiSyncOrchestrator(
+        build.chain,
+        build.driver,
+        build.aggregators,
+        build.timing,
+        quorum_k=config.semi_quorum_k if config else None,
+        max_staleness=config.max_staleness if config else None,
+        comm=build.comm,
+    )
+
+
+def _hierarchical_factory(build: PolicyBuildContext) -> HierarchicalOrchestrator:
+    config = build.config
+    # Site grouping mirrors the event-stream fabric's round-robin assignment
+    # of clusters to storage replicas, so a "group" is exactly the set of
+    # clusters sharing a storage site (one group when replicas are off); the
+    # policy clamps the count to the federation size.
+    return HierarchicalOrchestrator(
+        build.chain,
+        build.driver,
+        build.aggregators,
+        build.timing,
+        num_sites=config.storage_replicas if config else 1,
+        local_rounds_per_global=config.local_rounds_per_global if config else 2,
+        round_budget=config.round_budget if config else None,
+        comm=build.comm,
+    )
+
+
+def _gossip_factory(build: PolicyBuildContext) -> GossipOrchestrator:
+    config = build.config
+    return GossipOrchestrator(
+        build.chain,
+        build.driver,
+        build.aggregators,
+        build.timing,
+        fanout=config.gossip_fanout if config else 2,
+        seed=config.seed if config else 0,
+        comm=build.comm,
+    )
+
+
+register_policy(PolicySpec(
+    name="sync",
+    factory=_sync_factory,
+    description="lock-step phases with fixed training/scoring windows",
+    contract=ContractProfile(phase_gated=True),
+))
+register_policy(PolicySpec(
+    name="async",
+    factory=_async_factory,
+    description="free-running clusters, scorers assigned at submission",
+    validate=_reject_similarity_scoring,
+    contract=ContractProfile(assigns_scorers_on_submit=True),
+))
+register_policy(PolicySpec(
+    name="semi",
+    factory=_semi_factory,
+    description="buffered-async rounds closed by quorum or staleness expiry",
+    # The quorum/staleness bounds check is mode-agnostic and already runs
+    # unconditionally in ExperimentConfig.__post_init__ (the knobs can be
+    # set, and are range-checked, on any config).
+    validate=_reject_similarity_scoring,
+    contract=ContractProfile(assigns_scorers_on_submit=True, buffered=True),
+))
+register_policy(PolicySpec(
+    name="hierarchical",
+    factory=_hierarchical_factory,
+    description="per-site local rounds, one leader submission per site per global round",
+    validate=_reject_similarity_scoring,
+    contract=ContractProfile(assigns_scorers_on_submit=True),
+))
+register_policy(PolicySpec(
+    name="gossip",
+    factory=_gossip_factory,
+    description="barrier-free seeded peer exchanges, per-cluster convergence",
+    validate=_reject_similarity_scoring,
+    contract=ContractProfile(),
+))

@@ -80,6 +80,7 @@ def _aggregator_to_dict(aggregator: AggregatorResult) -> Dict:
                     "store_time": record.timing.store_time,
                     "chain_time": record.timing.chain_time,
                     "scoring_time": record.timing.scoring_time,
+                    "exchange_time": record.timing.exchange_time,
                     "idle_time": record.timing.idle_time,
                 },
             }
@@ -138,6 +139,11 @@ _CSV_COLUMNS = [
     "replication_time_s",
     "replication_queued_s",
     "replication_count",
+    # Peer-level exchange traffic (hierarchical shuttles, gossip pulls) and
+    # the bytes that crossed a WAN hop.
+    "exchange_time_s",
+    "exchange_count",
+    "wan_bytes",
 ]
 
 
@@ -158,6 +164,9 @@ def save_results_csv(results: Iterable[ExperimentResult], path: PathLike) -> Pat
                         "replication_time_s": f"{comm.get('replication_time', 0.0):.3f}" if comm else "",
                         "replication_queued_s": f"{comm.get('replication_queued', 0.0):.3f}" if comm else "",
                         "replication_count": f"{comm.get('replication_count', 0.0):.0f}" if comm else "",
+                        "exchange_time_s": f"{comm.get('exchange_time', 0.0):.3f}" if comm else "",
+                        "exchange_count": f"{comm.get('exchange_count', 0.0):.0f}" if comm else "",
+                        "wan_bytes": f"{comm.get('wan_bytes', 0.0):.0f}" if comm else "",
                         "experiment": result.name,
                         "mode": result.mode,
                         "partitioning": result.partitioning,

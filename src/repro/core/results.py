@@ -123,7 +123,7 @@ def format_comm_table(result: ExperimentResult) -> str:
         return "Communication report: run with event_streams=True to collect per-phase I/O."
     header = f"{'Stream':<28}{'Time (s)':>12}{'Queued (s)':>12}{'Events':>10}"
     lines = [f"Communication / chain event streams ({result.name})", header, "-" * len(header)]
-    for phase in ("upload", "download", "replication"):
+    for phase in ("upload", "download", "replication", "exchange"):
         if f"{phase}_time" in metrics:
             lines.append(
                 f"{'network ' + phase:<28}{metrics[f'{phase}_time']:>12.2f}"
@@ -172,6 +172,59 @@ def format_comm_table(result: ExperimentResult) -> str:
         f"{'—':>12}{metrics.get('chain_ops', 0.0):>10.0f}"
     )
     lines.append(f"blocks spanned: {metrics.get('chain_blocks_spanned', 0.0):.0f}")
+    if metrics.get("wan_bytes"):
+        lines.append(f"WAN bytes moved: {metrics['wan_bytes']:.0f}")
+    return "\n".join(lines)
+
+
+def format_policy_table(result: ExperimentResult) -> str:
+    """Render the mode-specific orchestration breakdown, if the mode has one.
+
+    Hierarchical runs report the per-tier split (cheap local-site work vs
+    the global WAN/chain coordination tier) plus the leadership rotation;
+    gossip runs report the per-exchange totals and the per-cluster
+    convergence.  Modes without such extras get an empty string, so callers
+    can print unconditionally.
+    """
+    extras = result.orchestration_extras
+    lines: List[str] = []
+    if "tier_totals" in extras:
+        tiers = extras["tier_totals"]
+        header = f"{'Tier / activity':<32}{'Time (s)':>12}"
+        lines = [f"Hierarchical tier breakdown ({result.name})", header, "-" * len(header)]
+        for key in sorted(tiers):
+            tier, _, activity = key.partition("_")
+            lines.append(f"{tier + ' ' + activity.replace('_', ' '):<32}{tiers[key]:>12.2f}")
+        local = sum(v for k, v in tiers.items() if k.startswith("local_"))
+        global_ = sum(v for k, v in tiers.items() if k.startswith("global_"))
+        lines.append("-" * len(header))
+        lines.append(f"{'total local tier':<32}{local:>12.2f}")
+        lines.append(f"{'total global tier':<32}{global_:>12.2f}")
+        leaders = extras.get("leaders", [])
+        if leaders:
+            rotation = ", ".join(f"r{r}:{name}" for r, _, name in leaders[:8])
+            suffix = ", ..." if len(leaders) > 8 else ""
+            lines.append(f"leaders: {rotation}{suffix}")
+        exhausted = extras.get("budget_exhausted", {})
+        if exhausted:
+            spent = ", ".join(f"{name}@{at}" for name, at in sorted(exhausted.items()))
+            lines.append(f"round budget exhausted: {spent}")
+    elif "exchange_count" in extras:
+        header = f"{'Cluster':<16}{'Exchanges':>10}{'Final acc %':>12}"
+        lines = [f"Gossip exchange breakdown ({result.name})", header, "-" * len(header)]
+        per_cluster = extras.get("per_cluster_exchanges", {})
+        accuracy = extras.get("per_cluster_final_accuracy", {})
+        for name in sorted(per_cluster):
+            lines.append(
+                f"{name:<16}{per_cluster[name]:>10}{accuracy.get(name, float('nan')) * 100:>12.2f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"fanout {extras.get('gossip_fanout', 0)}: "
+            f"{extras['exchange_count']} exchanges, "
+            f"{extras.get('exchange_time', 0.0):.2f}s moving models, "
+            f"{extras.get('missed_exchanges', 0)} missed"
+        )
     return "\n".join(lines)
 
 

@@ -9,7 +9,9 @@
    the UnifyFL contract, and start one IPFS node per organisation joined into
    a swarm;
 3. build the clusters: clients, scorer, strategy, policies, optional attack;
-4. drive the federation with the Sync or Async orchestrator; and
+4. drive the federation with the orchestrator the round-policy registry
+   builds for the configured mode (sync / async / semi / hierarchical /
+   gossip, plus anything registered downstream); and
 5. collect an :class:`~repro.core.results.ExperimentResult` with per-aggregator
    metrics, chain/storage overhead counters and the resource report.
 
@@ -35,12 +37,7 @@ from repro.core.baselines import (
 )
 from repro.core.config import ClusterConfig, ExperimentConfig, WorkloadConfig
 from repro.core.contract import UnifyFLContract
-from repro.core.orchestrator import (
-    AsyncOrchestrator,
-    OrchestrationResult,
-    SemiSyncOrchestrator,
-    SyncOrchestrator,
-)
+from repro.core.orchestrator import OrchestrationResult
 from repro.core.results import AggregatorResult, ExperimentResult
 from repro.core.scorer import build_scorer
 from repro.core.timing import ClusterTimingModel
@@ -51,6 +48,7 @@ from repro.fl.client import Client, ClientConfig
 from repro.ipfs.swarm import IPFSSwarm
 from repro.ml.models import Model, build_model
 from repro.sched.actors import STORAGE_ENDPOINT, ChainActor, CommFabric, NetworkActor
+from repro.sched.registry import PolicyBuildContext, get_policy
 from repro.simnet.network import NetworkLink, Topology
 from repro.simnet.resources import ResourceMonitor
 
@@ -311,28 +309,22 @@ class ExperimentRunner:
         return self._collect_result(orchestration, rounds)
 
     def _build_orchestrator(self):
-        """Dispatch the configured mode to its orchestrator (round policy)."""
+        """Dispatch the configured mode through the round-policy registry.
+
+        No hard-coded mode ladder: the registered spec's factory receives
+        one :class:`~repro.sched.registry.PolicyBuildContext` and builds the
+        orchestrator itself, so new modes plug in without runner edits.
+        """
         assert self.chain is not None and self._driver_account is not None
-        common = (self.chain, self._driver_account, self.aggregators, self.timing_model)
-        mode = self.config.mode
-        if mode == "sync":
-            return SyncOrchestrator(
-                *common,
-                training_window=self.config.phase_duration,
-                scoring_window=self.config.phase_duration,
-                scoring_algorithm=self.config.scoring_algorithm,
-                comm=self.comm,
-            )
-        if mode == "async":
-            return AsyncOrchestrator(*common, comm=self.comm)
-        if mode == "semi":
-            return SemiSyncOrchestrator(
-                *common,
-                quorum_k=self.config.semi_quorum_k,
-                max_staleness=self.config.max_staleness,
-                comm=self.comm,
-            )
-        raise ValueError(f"unknown orchestration mode '{mode}'")
+        build = PolicyBuildContext(
+            chain=self.chain,
+            driver=self._driver_account,
+            aggregators=self.aggregators,
+            timing=self.timing_model,
+            comm=self.comm,
+            config=self.config,
+        )
+        return get_policy(self.config.mode).factory(build)
 
     def _record_daemon_overhead(self, rounds: int) -> None:
         if self.monitor is None:

@@ -31,6 +31,9 @@ class RoundTiming:
     store_time: float = 0.0
     chain_time: float = 0.0
     scoring_time: float = 0.0
+    #: peer-level model traffic (hierarchical intra-group shuttles, gossip
+    #: pulls) — zero in the storage-mediated sync/async/semi modes.
+    exchange_time: float = 0.0
     idle_time: float = 0.0
 
     @property
@@ -43,6 +46,7 @@ class RoundTiming:
             + self.store_time
             + self.chain_time
             + self.scoring_time
+            + self.exchange_time
         )
 
     @property

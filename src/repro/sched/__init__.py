@@ -9,8 +9,14 @@ quorum/staleness-bounded rounds (semi-sync).
 
 * :mod:`repro.sched.kernel` — the engine: event scheduling, deterministic
   ordering, O(log n) dispatch.
-* :mod:`repro.sched.policies` — the three built-in round policies plus the
+* :mod:`repro.sched.policies` — the five built-in round policies (sync,
+  async, semi-sync, hierarchical, gossip) plus the
   :class:`~repro.sched.policies.RoundPolicy` base class for writing new ones.
+* :mod:`repro.sched.registry` — the pluggable round-policy registry:
+  policies register a name, a config-validation hook and a factory over one
+  :class:`~repro.sched.registry.PolicyBuildContext`; runner dispatch, config
+  validation, CLI mode choices and the contract's behaviour profile all
+  derive from the registrations.
 * :mod:`repro.sched.actors` — network and chain actors that promote model
   transfers and contract calls to first-class event streams (link contention
   over a replicated storage topology with on-the-books replication traffic —
@@ -26,10 +32,22 @@ from repro.sched.actors import ChainActor, ChainOp, CommFabric, NetworkActor
 from repro.sched.kernel import SimulationKernel
 from repro.sched.policies import (
     AsyncRoundPolicy,
+    GossipRoundPolicy,
+    HierarchicalRoundPolicy,
     OrchestrationContext,
     RoundPolicy,
     SemiSyncRoundPolicy,
     SyncRoundPolicy,
+)
+from repro.sched.registry import (
+    ContractProfile,
+    PolicyBuildContext,
+    PolicySpec,
+    build_orchestrator,
+    get_policy,
+    register_policy,
+    registered_modes,
+    validate_mode_config,
 )
 
 __all__ = [
@@ -38,9 +56,19 @@ __all__ = [
     "ChainActor",
     "ChainOp",
     "CommFabric",
+    "ContractProfile",
+    "GossipRoundPolicy",
+    "HierarchicalRoundPolicy",
     "NetworkActor",
     "OrchestrationContext",
+    "PolicyBuildContext",
+    "PolicySpec",
     "RoundPolicy",
     "SemiSyncRoundPolicy",
     "SyncRoundPolicy",
+    "build_orchestrator",
+    "get_policy",
+    "register_policy",
+    "registered_modes",
+    "validate_mode_config",
 ]

@@ -54,8 +54,10 @@ STORAGE_ENDPOINT = "storage"
 #: replica-selection policies understood by :class:`NetworkActor`.
 REPLICA_SELECTIONS = ("affinity", "least-loaded")
 
-#: transfer phases the network actor labels its events with.
-TRANSFER_PHASES = ("upload", "download", "replication")
+#: transfer phases the network actor labels its events with.  "exchange" is
+#: peer-level model traffic (hierarchical intra-group shuttles, gossip pulls)
+#: as opposed to the cluster<->storage phases.
+TRANSFER_PHASES = ("upload", "download", "replication", "exchange")
 
 
 @dataclass(frozen=True)
@@ -151,6 +153,9 @@ class NetworkActor:
         #: per-object availability ledger; only populated in multi-replica
         #: layouts for transfers that carry object ids.
         self.directory = ReplicaDirectory()
+        #: bytes this actor moved across a WAN hop (any transfer whose two
+        #: endpoints live at different topology sites); 0 without a topology.
+        self.wan_bytes = 0
         #: transfers committed *through this actor*, each paired with its
         #: phase label ("upload" / "download" / "replication").  Owned here
         #: rather than zipped against ``scheduler.log`` so direct commits on
@@ -199,6 +204,25 @@ class NetworkActor:
                 chosen = replica
         return chosen
 
+    def _endpoint_site(self, endpoint: str) -> Optional[str]:
+        """The topology site an endpoint lives at (``None`` without a topology)."""
+        if self.topology is None:
+            return None
+        if endpoint in self.topology.replicas:
+            return endpoint
+        try:
+            return self.topology.home_replica(endpoint)
+        except KeyError:
+            return None
+
+    def _record(self, scheduled: ScheduledTransfer, phase: str) -> None:
+        """Log one committed transfer and account its WAN crossing, if any."""
+        self._events.append((scheduled, phase))
+        source_site = self._endpoint_site(scheduled.source)
+        destination_site = self._endpoint_site(scheduled.destination)
+        if source_site is not None and destination_site is not None and source_site != destination_site:
+            self.wan_bytes += scheduled.num_bytes
+
     def _availability_lag(self, object_id: str, replica: str, at: float) -> float:
         """Extra seconds before ``object_id`` could leave ``replica`` (closed form).
 
@@ -241,7 +265,7 @@ class NetworkActor:
         for object_id in self._object_sequence(object_ids, num_models):
             replica = self.select_replica(endpoint, cursor, object_id, phase="upload")
             scheduled = self.scheduler.transfer(endpoint, replica, self.model_bytes, cursor)
-            self._events.append((scheduled, "upload"))
+            self._record(scheduled, "upload")
             cursor = scheduled.finished_at
             if object_id is not None and len(self.replicas) > 1:
                 self.directory.record_upload(object_id, replica, cursor)
@@ -255,6 +279,7 @@ class NetworkActor:
         num_models: int,
         at: float,
         object_ids: Optional[Sequence[str]] = None,
+        phase: str = "download",
     ) -> float:
         """Move ``num_models`` models from storage to ``endpoint``.
 
@@ -262,8 +287,11 @@ class NetworkActor:
         read-your-writes gated: it starts no earlier than the object's
         arrival at the serving replica (the wait is accounted as queued
         time), and in lazy mode a miss first commits the on-demand
-        origin→replica fetch the downloader then waits behind.  Returns the
-        total elapsed seconds the caller experienced.
+        origin→replica fetch the downloader then waits behind.  ``phase``
+        relabels the event for reporting — gossip pulls ride the download
+        machinery (same replica choice, same availability gate) but are
+        accounted as "exchange" traffic.  Returns the total elapsed seconds
+        the caller experienced.
         """
         if num_models <= 0:
             return 0.0
@@ -274,7 +302,26 @@ class NetworkActor:
             scheduled = self.scheduler.transfer(
                 replica, endpoint, self.model_bytes, cursor, earliest_start=ready
             )
-            self._events.append((scheduled, "download"))
+            self._record(scheduled, phase)
+            cursor = scheduled.finished_at
+        return cursor - at
+
+    def exchange(self, source: str, destination: str, num_models: int, at: float) -> float:
+        """Move ``num_models`` models directly between two cluster endpoints.
+
+        The peer-to-peer primitive behind the hierarchical policy's
+        intra-group shuttles: no storage replica is involved and nothing is
+        ledgered — the transfer rides the cluster↔cluster link of the
+        topology (same-site pairs compose their LAN hops, cross-site pairs
+        additionally cross the WAN) and contends for both endpoints like any
+        other traffic.  Returns the elapsed seconds the receiver experienced.
+        """
+        if num_models <= 0:
+            return 0.0
+        cursor = at
+        for _ in range(num_models):
+            scheduled = self.scheduler.transfer(source, destination, self.model_bytes, cursor)
+            self._record(scheduled, "exchange")
             cursor = scheduled.finished_at
         return cursor - at
 
@@ -303,7 +350,7 @@ class NetworkActor:
             if replica == origin:
                 continue
             scheduled = self.scheduler.transfer(origin, replica, self.model_bytes, at)
-            self._events.append((scheduled, "replication"))
+            self._record(scheduled, "replication")
             self.directory.record_arrival(object_id, replica, scheduled.finished_at)
 
     def _ensure_available(
@@ -330,7 +377,7 @@ class NetworkActor:
             fetch = self.scheduler.transfer(
                 origin, replica, self.model_bytes, at, earliest_start=origin_ready
             )
-            self._events.append((fetch, "replication"))
+            self._record(fetch, "replication")
             self.directory.record_arrival(object_id, replica, fetch.finished_at)
             return fetch.finished_at
         return self.scheduler.preview(
@@ -584,6 +631,26 @@ class CommFabric:
         """
         return self.network.download(endpoint, num_models, at, object_ids=object_ids)
 
+    def exchange(self, source: str, destination: str, at: float, num_models: int = 1) -> float:
+        """Elapsed seconds to shuttle models directly between two clusters.
+
+        The hierarchical policy's intra-group traffic: members push their
+        round's model to the site leader and the leader broadcasts the merged
+        group model back, all on the cluster↔cluster links of the topology
+        (LAN-priced within a site, WAN-crossing otherwise).
+        """
+        return self.network.exchange(source, destination, num_models, at)
+
+    def gossip_pull(self, endpoint: str, at: float, object_id: str) -> float:
+        """Elapsed seconds for one gossip exchange: pull a peer's model by CID.
+
+        Rides the download machinery — same replica selection, same
+        read-your-writes availability gate, same lazy on-demand fetch on a
+        miss — but is accounted as "exchange" traffic so the per-exchange
+        breakdown stays separable from ordinary aggregation pulls.
+        """
+        return self.network.download(endpoint, 1, at, object_ids=[object_id], phase="exchange")
+
     def chain_op(self, kind: str, endpoint: str, at: float, num_transactions: int = 1) -> float:
         """Elapsed seconds until ``num_transactions`` submitted ``at`` are final."""
         if num_transactions <= 0:
@@ -618,8 +685,10 @@ class CommFabric:
         """Flat per-phase communication/chain accounting for result documents.
 
         Keys are stable and JSON-friendly: ``upload_time`` / ``upload_queued``
-        / ``upload_count`` (ditto ``download_*`` and ``replication_*`` for
-        inter-replica propagation traffic), ``replica_<name>_time`` /
+        / ``upload_count`` (ditto ``download_*``, ``replication_*`` for
+        inter-replica propagation traffic and ``exchange_*`` for peer-level
+        hierarchical/gossip traffic), ``wan_bytes`` for the bytes that
+        crossed a WAN hop, ``replica_<name>_time`` /
         ``_queued`` / ``_count`` per storage replica plus
         ``replica_<name>_replication_*`` propagation totals per receiving
         site, ``chain_wait_<kind>`` and ``chain_ops_<kind>`` per interaction
@@ -641,6 +710,7 @@ class CommFabric:
         out["storage_replicas"] = float(len(self.network.replicas))
         out["network_time"] = self.network.scheduler.total_wire_time
         out["network_queued"] = self.network.scheduler.total_queued_time
+        out["wan_bytes"] = float(self.network.wan_bytes)
         for kind, bucket in sorted(self.chain.kind_totals().items()):
             out[f"chain_wait_{kind}"] = bucket["wait"]
             out[f"chain_ops_{kind}"] = bucket["count"]

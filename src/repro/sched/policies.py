@@ -16,10 +16,22 @@ expresses it as events on a :class:`~repro.sched.kernel.SimulationKernel`:
   closes once ``quorum_k`` clusters have submitted *or* ``max_staleness``
   simulated seconds have elapsed, and a cluster that already submitted to the
   open round waits for it to close before starting its next one.
+* :class:`HierarchicalRoundPolicy` — clusters are grouped by topology site;
+  each group runs several cheap LAN-priced local aggregation rounds around a
+  rotating site leader, then one leader per group submits over WAN/chain per
+  global round (the multi-site middleware shape: local stages composed under
+  a thin global coordination tier).  Per-cluster round budgets cap how much
+  local training each organisation contributes.
+* :class:`GossipRoundPolicy` — no global barrier at all: every round each
+  cluster pulls the latest published models of ``gossip_fanout``
+  deterministic seeded peers, merges locally, trains, and publishes.
+  Convergence is tracked per cluster.
 
 Writing a new mode means subclassing :class:`RoundPolicy`, scheduling initial
-events in :meth:`~RoundPolicy.install`, and letting handlers schedule their
-successors.  See ``docs/scheduling.md`` for a walk-through.
+events in :meth:`~RoundPolicy.install`, letting handlers schedule their
+successors — and registering a :class:`~repro.sched.registry.PolicySpec` so
+the runner, config validation, CLI and contract all pick the mode up without
+edits.  See ``docs/scheduling.md`` for a walk-through.
 
 When the :class:`OrchestrationContext` carries a
 :class:`~repro.sched.actors.CommFabric`, the policies consume the network and
@@ -36,6 +48,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from repro.sched.kernel import SimulationKernel
 
@@ -576,4 +590,450 @@ class SemiSyncRoundPolicy(RoundPolicy):
             "quorum_closures": quorum,
             "staleness_closures": staleness,
             "closures": list(self.closures),
+        }
+
+
+class HierarchicalRoundPolicy(RoundPolicy):
+    """Two-tier rounds: local site aggregation under a thin global tier.
+
+    Clusters are grouped by topology site (the same ``i % num_sites``
+    round-robin the event-stream fabric assigns home replicas with, so a
+    group really is the set of clusters sharing a storage site).  One global
+    round is:
+
+    1. **global barrier** — everyone advances to the slowest cluster, serves
+       any assigned scoring, and the round's *leader* of each group (a
+       deterministic rotation over the group, skipping offline members)
+       pulls the other groups' submitted models from the contract and
+       broadcasts the merged model to its members over the (LAN) exchange
+       links;
+    2. **local tier** — ``local_rounds_per_global`` cheap aggregation
+       rounds within each group: members train, shuttle their models to the
+       leader, the leader merges the group model and shuttles it back.
+       Nothing touches storage or chain, so a local round costs LAN
+       transfers plus compute only;
+    3. **global tier** — each group's leader submits the group model over
+       the real storage/chain path (``submitModel``), paying WAN
+       replication, link contention and block-interval finality when event
+       streams are on.
+
+    A ``round_budget`` caps the total local training rounds each cluster
+    contributes across the run: an exhausted cluster keeps receiving group
+    models (and can still lead and score) but trains no further — the
+    per-cluster cost-control knob multi-site deployments need.
+    """
+
+    mode = "hierarchical"
+
+    def __init__(
+        self,
+        ctx: OrchestrationContext,
+        num_sites: int = 1,
+        local_rounds_per_global: int = 2,
+        round_budget: Optional[int] = None,
+    ):
+        super().__init__(ctx)
+        # Range validation lives in HierarchicalOrchestrator (and, for
+        # experiment configs, in ExperimentConfig); the policy trusts its
+        # inputs and only clamps the site count to the federation size.
+        aggregators = list(ctx.aggregators)
+        self.num_sites = max(1, min(num_sites, len(aggregators)))
+        self.local_rounds = local_rounds_per_global
+        self.round_budget = round_budget
+        #: groups[s] = clusters whose home site is s (fabric round-robin order).
+        self.groups: List[List["UnifyFLAggregator"]] = [[] for _ in range(self.num_sites)]
+        for i, aggregator in enumerate(aggregators):
+            self.groups[i % self.num_sites].append(aggregator)
+        self.budget_left: Dict[str, Optional[int]] = {
+            a.name: round_budget for a in aggregators
+        }
+        #: (global_round, local_round) at which each cluster ran dry.
+        self.budget_exhausted_at: Dict[str, tuple] = {}
+        #: audit trail of leader elections: (global_round, site_index, name).
+        self.leader_log: List[tuple] = []
+        #: per-tier timing accumulators for the result document.
+        self.tier_totals: Dict[str, float] = {
+            "local_training_time": 0.0,
+            "local_exchange_time": 0.0,
+            "local_aggregation_time": 0.0,
+            "local_idle_time": 0.0,
+            "global_pull_time": 0.0,
+            "global_aggregation_time": 0.0,
+            "global_broadcast_time": 0.0,
+            "global_store_time": 0.0,
+            "global_chain_time": 0.0,
+            "global_idle_time": 0.0,
+            "global_scoring_time": 0.0,
+        }
+
+    # ----------------------------------------------------------------- install
+    def install(self, kernel: SimulationKernel) -> None:
+        """Schedule the first global round at the initial barrier time."""
+        self.kernel = kernel
+        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        kernel.schedule_at(barrier, lambda: self._begin_round(1), key="hier-round")
+
+    # ---------------------------------------------------------- helper pricing
+    def _exchange(
+        self,
+        source: "UnifyFLAggregator",
+        destination: "UnifyFLAggregator",
+        payer: "UnifyFLAggregator",
+    ) -> float:
+        """Elapsed seconds to move one model ``source`` -> ``destination``.
+
+        ``payer`` is the cluster whose clock the caller advances by the
+        returned cost — the member pushing to its leader, or the member
+        waiting out the leader's broadcast.  The transfer is committed at
+        the payer's clock: by then the payload exists (a pusher just
+        trained; a broadcast receiver was first advanced to the leader's
+        clock), so the link reservation never precedes the model.  In
+        constant-cost mode the payer's own profile prices the transfer,
+        like every other legacy transfer.
+        """
+        if self.ctx.comm is not None:
+            return self.ctx.comm.exchange(
+                source.name, destination.name, at=payer.clock.now()
+            )
+        return self.ctx.timing.transfer_time(payer.config.aggregator_profile, 1)
+
+    def _consume_budget(self, aggregator: "UnifyFLAggregator", global_round: int, local_round: int) -> bool:
+        """Whether the cluster may train now; decrements the budget if so."""
+        left = self.budget_left[aggregator.name]
+        if left is None:
+            return True
+        if left <= 0:
+            return False
+        self.budget_left[aggregator.name] = left - 1
+        if left - 1 == 0:
+            self.budget_exhausted_at[aggregator.name] = (global_round, local_round)
+        return True
+
+    # ------------------------------------------------------------ round events
+    def _begin_round(self, global_round: int) -> None:
+        from repro.core.timing import RoundTiming
+
+        assert self.kernel is not None
+        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        timings: Dict[str, "RoundTiming"] = {}
+        available: Dict[str, bool] = {}
+        for aggregator in self.ctx.aggregators:
+            waited = aggregator.clock.advance_to(barrier)
+            self.ctx.add_idle(aggregator.name, waited)
+            self.tier_totals["global_idle_time"] += waited
+            timings[aggregator.name] = RoundTiming(idle_time=waited)
+            available[aggregator.name] = aggregator.is_available()
+            aggregator._pulled_this_round = 0
+
+        # Serve the scoring the previous round's leader submissions assigned.
+        for aggregator in self.ctx.aggregators:
+            if not available[aggregator.name]:
+                continue
+            score_timing = aggregator.score_assigned(before_time=aggregator.clock.now())
+            timing = timings[aggregator.name]
+            timing.scoring_time += score_timing.scoring_time
+            timing.pull_time += score_timing.pull_time
+            timing.chain_time += score_timing.chain_time
+            self.tier_totals["global_scoring_time"] += score_timing.total_time
+
+        for site_index, group in enumerate(self.groups):
+            members = [m for m in group if available[m.name]]
+            if not members:
+                continue
+            leader = group[(global_round - 1) % len(group)]
+            if not available[leader.name]:
+                # Deterministic fallback: the next available member in
+                # rotation order takes the round.
+                offset = (global_round - 1) % len(group)
+                leader = next(
+                    group[(offset + j) % len(group)]
+                    for j in range(len(group))
+                    if available[group[(offset + j) % len(group)].name]
+                )
+            self.leader_log.append((global_round, site_index, leader.name))
+            self._run_group_round(global_round, group, members, leader, timings)
+
+        for aggregator in self.ctx.aggregators:
+            aggregator.record_round(
+                global_round,
+                timings[aggregator.name],
+                offline=not available[aggregator.name],
+            )
+
+        if global_round < self.ctx.num_rounds:
+            barrier = max(a.clock.now() for a in self.ctx.aggregators)
+            self.kernel.schedule_at(
+                barrier, lambda: self._begin_round(global_round + 1), key="hier-round"
+            )
+
+    def _run_group_round(
+        self,
+        global_round: int,
+        group: List["UnifyFLAggregator"],
+        members: List["UnifyFLAggregator"],
+        leader: "UnifyFLAggregator",
+        timings: Dict[str, "RoundTiming"],
+    ) -> None:
+        """One group's complete global round: pull, local tier, submission."""
+        # --- global pull: the leader fetches the other groups' submissions.
+        pull_timing = leader.build_global_model(before_time=leader.clock.now())
+        leader_timing = timings[leader.name]
+        leader_timing.pull_time += pull_timing.pull_time
+        leader_timing.aggregation_time += pull_timing.aggregation_time
+        self.tier_totals["global_pull_time"] += pull_timing.pull_time
+        self.tier_totals["global_aggregation_time"] += pull_timing.aggregation_time
+
+        # --- broadcast the merged global model to the group (LAN exchange).
+        followers = [m for m in members if m.name != leader.name]
+        for member in followers:
+            waited = member.clock.advance_to(leader.clock.now())
+            self.ctx.add_idle(member.name, waited)
+            timings[member.name].idle_time += waited
+            self.tier_totals["local_idle_time"] += waited
+            elapsed = self._exchange(leader, member, payer=member)
+            member.clock.advance(elapsed)
+            timings[member.name].exchange_time += elapsed
+            self.tier_totals["global_broadcast_time"] += elapsed
+            member.global_weights = [np.array(w, copy=True) for w in leader.global_weights]
+
+        # --- local tier: LAN-priced aggregation rounds around the leader.
+        for local_round in range(1, self.local_rounds + 1):
+            trained: List["UnifyFLAggregator"] = []
+            for member in members:
+                if not self._consume_budget(member, global_round, local_round):
+                    continue
+                train_timing = member.local_training_round()
+                timing = timings[member.name]
+                timing.client_training_time += train_timing.client_training_time
+                timing.aggregation_time += train_timing.aggregation_time
+                self.tier_totals["local_training_time"] += train_timing.client_training_time
+                self.tier_totals["local_aggregation_time"] += train_timing.aggregation_time
+                trained.append(member)
+            # Members shuttle their fresh models to the leader...
+            for member in trained:
+                if member.name == leader.name:
+                    continue
+                elapsed = self._exchange(member, leader, payer=member)
+                member.clock.advance(elapsed)
+                timings[member.name].exchange_time += elapsed
+                self.tier_totals["local_exchange_time"] += elapsed
+            # ...the leader waits for the slowest shuttle and merges...
+            arrival = max([leader.clock.now()] + [m.clock.now() for m in trained])
+            waited = leader.clock.advance_to(arrival)
+            self.ctx.add_idle(leader.name, waited)
+            leader_timing.idle_time += waited
+            self.tier_totals["local_idle_time"] += waited
+            weight_sets = [m.local_weights for m in trained if m.name != leader.name]
+            weight_sets.append(leader.local_weights)
+            group_model = leader.strategy.aggregate_weight_sets(leader.local_weights, weight_sets)
+            merge_time = self.ctx.timing.aggregation_time(leader.config, len(weight_sets))
+            leader.clock.advance(merge_time)
+            leader_timing.aggregation_time += merge_time
+            self.tier_totals["local_aggregation_time"] += merge_time
+            leader.local_weights = group_model
+            leader.global_weights = [np.array(w, copy=True) for w in group_model]
+            # ...and shuttles the merged group model back.
+            for member in followers:
+                waited = member.clock.advance_to(leader.clock.now())
+                self.ctx.add_idle(member.name, waited)
+                timings[member.name].idle_time += waited
+                self.tier_totals["local_idle_time"] += waited
+                elapsed = self._exchange(leader, member, payer=member)
+                member.clock.advance(elapsed)
+                timings[member.name].exchange_time += elapsed
+                self.tier_totals["local_exchange_time"] += elapsed
+                member.global_weights = [np.array(w, copy=True) for w in group_model]
+
+        # --- global tier: only the leader crosses WAN/chain.
+        _, submit_timing = leader.submit_local_model()
+        leader_timing.store_time += submit_timing.store_time
+        leader_timing.chain_time += submit_timing.chain_time
+        self.tier_totals["global_store_time"] += submit_timing.store_time
+        self.tier_totals["global_chain_time"] += submit_timing.chain_time
+
+    # ----------------------------------------------------------------- results
+    def finalize(self) -> None:
+        """Drain leftover assigned scoring once every group finished.
+
+        The drained effort belongs to the global tier's scoring service (it
+        is the tail of the last round's leader submissions), so it is added
+        to ``tier_totals`` — the per-tier breakdown sums exactly to the
+        cluster clocks.
+        """
+        before = {a.name: a.clock.now() for a in self.ctx.aggregators}
+        self._drain_scoring()
+        self.tier_totals["global_scoring_time"] += sum(
+            a.clock.now() - before[a.name] for a in self.ctx.aggregators
+        )
+
+    def extras(self) -> Dict[str, object]:
+        """Per-tier timing breakdown and leadership/budget audit trails."""
+        return {
+            "num_sites": self.num_sites,
+            "local_rounds_per_global": self.local_rounds,
+            "round_budget": self.round_budget if self.round_budget is not None else 0,
+            "groups": {
+                str(site): [m.name for m in group] for site, group in enumerate(self.groups)
+            },
+            "leaders": list(self.leader_log),
+            "tier_totals": dict(self.tier_totals),
+            "budget_exhausted": dict(self.budget_exhausted_at),
+        }
+
+
+class GossipRoundPolicy(RoundPolicy):
+    """Barrier-free epidemic rounds: pull a few peers, merge, train, publish.
+
+    Every cluster free-runs like async, but instead of pulling *every*
+    peer's latest model through the contract view it exchanges with
+    ``gossip_fanout`` peers chosen by a deterministic seeded draw per
+    (cluster, round).  An exchange pulls the peer's last *published* model
+    by CID through the storage fabric — so link contention,
+    read-your-writes availability gating and lazy on-demand replication all
+    price the exchange when event streams are on — and the merged model is
+    trained and re-published (upload + ``submitModel`` finality).  With
+    ``gossip_fanout=0`` nothing is exchanged and every cluster trains in
+    isolation.  There is no global round to close, so convergence is a
+    per-cluster time series, not a federation barrier.
+    """
+
+    mode = "gossip"
+
+    def __init__(self, ctx: OrchestrationContext, fanout: int = 2, seed: int = 0):
+        super().__init__(ctx)
+        if fanout < 0:
+            raise ValueError("gossip fanout must be non-negative")
+        self.fanout = fanout
+        self.seed = seed
+        self.rounds_done: Dict[str, int] = {a.name: 0 for a in ctx.aggregators}
+        self._index: Dict[str, int] = {a.name: i for i, a in enumerate(ctx.aggregators)}
+        #: publication history per cluster, as (cid, publish_time) in time
+        #: order.  A puller sees the peer's *latest visible* publication —
+        #: the last one whose publish time its own clock has passed — so a
+        #: fast-rounding peer's newer model never hides the older one a
+        #: slower puller could causally know of.
+        self._published: Dict[str, List[tuple]] = {}
+        #: audit trail: (round, puller, peer, elapsed_seconds).
+        self.exchange_log: List[tuple] = []
+        #: exchanges skipped because the peer had published nothing visible.
+        self.missed_exchanges = 0
+
+    # ----------------------------------------------------------------- install
+    def install(self, kernel: SimulationKernel) -> None:
+        """Arm every cluster's first activation at its own local clock."""
+        self.kernel = kernel
+        for aggregator in self.ctx.aggregators:
+            kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda a=aggregator: self._activate(a),
+                key=aggregator.name,
+            )
+
+    # ------------------------------------------------------------------ events
+    def _select_peers(self, aggregator: "UnifyFLAggregator", round_number: int) -> List["UnifyFLAggregator"]:
+        """The deterministic seeded fanout draw for one (cluster, round)."""
+        others = [a for a in self.ctx.aggregators if a.name != aggregator.name]
+        k = min(self.fanout, len(others))
+        if k <= 0:
+            return []
+        rng = np.random.default_rng(
+            [self.seed, round_number, self._index[aggregator.name]]
+        )
+        chosen = sorted(rng.choice(len(others), size=k, replace=False).tolist())
+        return [others[i] for i in chosen]
+
+    def _activate(self, aggregator: "UnifyFLAggregator") -> None:
+        from repro.core.timing import RoundTiming
+
+        assert self.kernel is not None
+        round_number = self.rounds_done[aggregator.name] + 1
+        self.rounds_done[aggregator.name] = round_number
+        done = round_number >= self.ctx.num_rounds
+
+        if not aggregator.is_available():
+            downtime = self.ctx.timing.client_training_time(aggregator.config, jitter=False)
+            aggregator.clock.advance(downtime)
+            aggregator.record_round(round_number, RoundTiming(idle_time=downtime), offline=True)
+            if not done:
+                self._reactivate(aggregator)
+            return
+
+        timing = RoundTiming()
+        peer_weight_sets = []
+        for peer in self._select_peers(aggregator, round_number):
+            cid = self._latest_visible(peer.name, aggregator.clock.now())
+            if cid is None:
+                # The peer has published nothing this cluster could know of
+                # yet — gossip is best-effort, the exchange is simply missed.
+                self.missed_exchanges += 1
+                continue
+            weights = aggregator.fetch_weights(cid)
+            if self.ctx.comm is not None:
+                elapsed = self.ctx.comm.gossip_pull(aggregator.name, aggregator.clock.now(), cid)
+            else:
+                elapsed = self.ctx.timing.transfer_time(aggregator.config.aggregator_profile, 1)
+            aggregator.clock.advance(elapsed)
+            timing.exchange_time += elapsed
+            self.exchange_log.append((round_number, aggregator.name, peer.name, elapsed))
+            peer_weight_sets.append(weights)
+
+        if peer_weight_sets:
+            aggregator.global_weights = aggregator.strategy.aggregate_weight_sets(
+                aggregator.local_weights, peer_weight_sets + [aggregator.local_weights]
+            )
+        else:
+            aggregator.global_weights = [np.array(w, copy=True) for w in aggregator.local_weights]
+        merge_time = self.ctx.timing.aggregation_time(aggregator.config, len(peer_weight_sets) + 1)
+        aggregator.clock.advance(merge_time)
+        timing.aggregation_time += merge_time
+
+        train_timing = aggregator.local_training_round()
+        timing.client_training_time += train_timing.client_training_time
+        timing.aggregation_time += train_timing.aggregation_time
+
+        cid, submit_timing = aggregator.submit_local_model()
+        timing.store_time += submit_timing.store_time
+        timing.chain_time += submit_timing.chain_time
+        self._published.setdefault(aggregator.name, []).append(
+            (cid, aggregator.clock.now())
+        )
+
+        aggregator._pulled_this_round = len(peer_weight_sets)
+        aggregator.record_round(round_number, timing)
+        if not done:
+            self._reactivate(aggregator)
+
+    def _latest_visible(self, peer: str, now: float) -> Optional[str]:
+        """The peer's newest CID whose publication ``now`` has passed."""
+        for cid, publish_time in reversed(self._published.get(peer, [])):
+            if publish_time <= now:
+                return cid
+        return None
+
+    def _reactivate(self, aggregator: "UnifyFLAggregator") -> None:
+        assert self.kernel is not None
+        self.kernel.schedule_at(
+            aggregator.clock.now(),
+            lambda: self._activate(aggregator),
+            key=aggregator.name,
+        )
+
+    # ----------------------------------------------------------------- results
+    def extras(self) -> Dict[str, object]:
+        """Per-exchange breakdown: who pulled from whom, at what cost."""
+        per_cluster: Dict[str, int] = {a.name: 0 for a in self.ctx.aggregators}
+        for _, puller, _, _ in self.exchange_log:
+            per_cluster[puller] += 1
+        final_accuracy = {
+            a.name: (a.history[-1].global_accuracy if a.history else float("nan"))
+            for a in self.ctx.aggregators
+        }
+        return {
+            "gossip_fanout": self.fanout,
+            "exchange_count": len(self.exchange_log),
+            "exchange_time": sum(e[3] for e in self.exchange_log),
+            "missed_exchanges": self.missed_exchanges,
+            "per_cluster_exchanges": per_cluster,
+            "per_cluster_final_accuracy": final_accuracy,
+            "exchanges": list(self.exchange_log),
         }

@@ -1,0 +1,171 @@
+"""The round-policy registry: orchestration modes as pluggable plugins.
+
+Before this module existed, adding an orchestration mode meant editing four
+parallel hard-coded lists: the ``if mode == ...`` ladder in
+``ExperimentRunner._build_orchestrator``, the closed mode tuple in
+``ExperimentConfig`` validation, the ``--mode`` choices of the CLI and the
+``MODES`` tuple of the smart contract.  The registry collapses all four into
+one source of truth: a policy *registers itself* with a name, an optional
+config-validation hook, a factory, and the contract-behaviour profile its
+mode needs — and every consumer derives its view from the registration:
+
+* :class:`~repro.core.runner.ExperimentRunner` dispatches through
+  :func:`get_policy` and calls the spec's ``factory`` with a single
+  :class:`PolicyBuildContext` (replacing the old positional ``common``
+  tuple);
+* :class:`~repro.core.config.ExperimentConfig` validates ``mode`` against
+  :func:`registered_modes` at construction time and runs the spec's
+  ``validate`` hook, so an unknown mode fails fast with the list of
+  registered names instead of deep inside orchestration;
+* the CLI builds its ``--mode`` choices from :func:`registered_modes`;
+* :class:`~repro.core.contract.UnifyFLContract` reads the spec's
+  :class:`ContractProfile` to decide whether submissions are phase-gated,
+  whether scorers are assigned at submission time, and whether the semi-sync
+  buffer machinery is live.
+
+The registry itself is domain-agnostic and imports nothing from
+``repro.core`` at module level (the core package imports *us*); the built-in
+policies register themselves when :mod:`repro.core.orchestrator` is
+imported, which :func:`_load_builtins` triggers lazily on first lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.chain.account import Account
+    from repro.chain.blockchain import Blockchain
+    from repro.core.aggregator import UnifyFLAggregator
+    from repro.core.config import ExperimentConfig
+    from repro.core.timing import ClusterTimingModel
+    from repro.sched.actors import CommFabric
+
+
+@dataclass(frozen=True)
+class ContractProfile:
+    """How the orchestrator contract behaves under one mode.
+
+    The contract used to switch on hard-coded mode names; these three flags
+    are the actual behavioural axes those names selected:
+
+    Attributes:
+        phase_gated: submissions/scores are only accepted inside the matching
+            sync phase window, and the ``startScoring``/``endRound`` phase
+            control flow is live (the sync mode).
+        assigns_scorers_on_submit: scorers are sampled the moment a model CID
+            lands, instead of in batch at ``startScoring`` (async, semi and
+            hierarchical).  Gossip turns this off: exchanges are scored by
+            nobody — each cluster judges what it merges.
+        buffered: the semi-sync round buffer is live — submissions accumulate
+            until ``closeSemiRound`` advances the round counter, and
+            ``getSemiRoundStatus``/``configureSemiRound`` are callable.
+    """
+
+    phase_gated: bool = False
+    assigns_scorers_on_submit: bool = False
+    buffered: bool = False
+
+
+@dataclass
+class PolicyBuildContext:
+    """Everything a registered policy factory gets to build its orchestrator.
+
+    One dataclass instead of the old positional ``(chain, driver,
+    aggregators, timing)`` tuple, so factories pick what they need by name
+    and new fields never ripple through every call site.
+    """
+
+    chain: "Blockchain"
+    driver: "Account"
+    aggregators: Sequence["UnifyFLAggregator"]
+    timing: "ClusterTimingModel"
+    #: the event-stream communication fabric, or ``None`` for constant costs.
+    comm: Optional["CommFabric"] = None
+    #: the full experiment configuration; ``None`` when an orchestrator is
+    #: built programmatically outside an :class:`ExperimentRunner`.
+    config: Optional["ExperimentConfig"] = None
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registered orchestration mode.
+
+    Attributes:
+        name: the mode string (``ExperimentConfig.mode`` / CLI ``--mode``).
+        factory: builds the mode's orchestrator from a
+            :class:`PolicyBuildContext`.
+        description: one-line summary surfaced by CLI help and docs.
+        validate: optional hook run at ``ExperimentConfig`` construction;
+            raises ``ValueError`` on a configuration the mode cannot run.
+        contract: the contract behaviour this mode needs.
+    """
+
+    name: str
+    factory: Callable[[PolicyBuildContext], Any]
+    description: str = ""
+    validate: Optional[Callable[["ExperimentConfig"], None]] = None
+    contract: ContractProfile = field(default_factory=ContractProfile)
+
+
+#: the registry proper, in registration order (which fixes CLI choice order).
+_REGISTRY: Dict[str, PolicySpec] = {}
+_builtins_loaded = False
+
+
+def register_policy(spec: PolicySpec) -> PolicySpec:
+    """Register one round policy; duplicate names are a hard error."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"round policy '{spec.name}' is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registration (test plumbing; built-ins should stay put)."""
+    _REGISTRY.pop(name, None)
+
+
+def _load_builtins() -> None:
+    """Import the module that registers the built-in modes, once.
+
+    ``repro.core.orchestrator`` registers sync/async/semi/hierarchical/gossip
+    at import time; importing it lazily (function-level) keeps this module
+    free of ``repro.core`` imports and therefore cycle-free.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    import repro.core.orchestrator  # noqa: F401  (registers the built-ins)
+
+
+def registered_modes() -> List[str]:
+    """Names of every registered mode, in registration order."""
+    _load_builtins()
+    return list(_REGISTRY)
+
+
+def get_policy(name: str) -> PolicySpec:
+    """Look up one mode's spec; unknown names list what *is* registered."""
+    _load_builtins()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(f"'{mode}'" for mode in _REGISTRY)
+        raise ValueError(f"unknown orchestration mode '{name}'; registered modes: {known}")
+    return spec
+
+
+def validate_mode_config(config: "ExperimentConfig") -> None:
+    """Fail fast on an unknown mode or a config the mode cannot run."""
+    spec = get_policy(config.mode)
+    if spec.validate is not None:
+        spec.validate(config)
+
+
+def build_orchestrator(build: PolicyBuildContext) -> Any:
+    """Dispatch a build context to its mode's registered factory."""
+    if build.config is None:
+        raise ValueError("build_orchestrator needs a PolicyBuildContext with a config")
+    return get_policy(build.config.mode).factory(build)

@@ -51,7 +51,11 @@ class NetworkModel:
 
     Keys are (source, destination) endpoint names.  When no specific link is
     registered the default link applies, which keeps experiment setup short:
-    the paper's clusters sit on one LAN where all links are alike.
+    the paper's clusters sit on one LAN where all links are alike.  A
+    *resolver* hook (``set_link_resolver``) can compute a pair's link on
+    first use — the topology layer uses it to derive the O(n²)
+    cluster↔cluster paths lazily instead of materialising every pair up
+    front; resolved links are cached so repeat lookups stay O(1).
     """
 
     #: link used for self-transfers; shared because links are immutable.
@@ -60,6 +64,7 @@ class NetworkModel:
     def __init__(self, default_link: Optional[NetworkLink] = None):
         self.default_link = default_link or NetworkLink(latency_s=0.005, bandwidth_bytes_per_s=100e6)
         self._links: Dict[Tuple[str, str], NetworkLink] = {}
+        self._resolver = None
 
     def set_link(self, source: str, destination: str, link: NetworkLink, symmetric: bool = True) -> None:
         """Register a link between two endpoints."""
@@ -67,11 +72,27 @@ class NetworkModel:
         if symmetric:
             self._links[(destination, source)] = link
 
+    def set_link_resolver(self, resolver) -> None:
+        """Install a ``(source, destination) -> Optional[NetworkLink]`` hook.
+
+        Consulted for pairs with no registered link; a non-``None`` result
+        is cached.  Returning ``None`` falls through to the default link.
+        """
+        self._resolver = resolver
+
     def link(self, source: str, destination: str) -> NetworkLink:
         """The link between two endpoints (a zero-cost loopback for self-transfers)."""
         if source == destination:
             return self.LOOPBACK
-        return self._links.get((source, destination), self.default_link)
+        link = self._links.get((source, destination))
+        if link is not None:
+            return link
+        if self._resolver is not None:
+            resolved = self._resolver(source, destination)
+            if resolved is not None:
+                self._links[(source, destination)] = resolved
+                return resolved
+        return self.default_link
 
     def transfer_time(self, source: str, destination: str, num_bytes: int) -> float:
         """Seconds to move a payload from ``source`` to ``destination``."""
@@ -471,9 +492,34 @@ class Topology:
             bandwidth_bytes_per_s=min(lan.bandwidth_bytes_per_s, wan.bandwidth_bytes_per_s),
         )
 
+    def cluster_path_link(self, cluster_a: str, cluster_b: str) -> NetworkLink:
+        """Effective single-hop link for direct ``cluster_a`` -> ``cluster_b`` traffic.
+
+        Peers at the same site compose their two LAN hops; peers at
+        different sites additionally cross the WAN between their homes.
+        Latencies add, bandwidth is the slowest hop — the pricing behind the
+        hierarchical intra-group shuttles (cheap, LAN-only) versus gossip
+        exchanges that may span sites.
+        """
+        lan_a, lan_b = self._lan[cluster_a], self._lan[cluster_b]
+        home_a, home_b = self._home[cluster_a], self._home[cluster_b]
+        latency = lan_a.latency_s + lan_b.latency_s
+        bandwidth = min(lan_a.bandwidth_bytes_per_s, lan_b.bandwidth_bytes_per_s)
+        if home_a != home_b:
+            wan = self.wan_link(home_a, home_b)
+            latency += wan.latency_s
+            bandwidth = min(bandwidth, wan.bandwidth_bytes_per_s)
+        return NetworkLink(latency_s=latency, bandwidth_bytes_per_s=bandwidth)
+
     # -------------------------------------------------------------- materialise
     def build_network(self) -> NetworkModel:
-        """Materialise every cluster<->replica and replica<->replica link."""
+        """Materialise every cluster<->replica and replica<->replica link.
+
+        Cluster<->cluster paths (used only by the peer-exchange policies)
+        are *not* materialised eagerly — that would be O(n²) entries paid by
+        every event-stream run — but resolved and cached on first use via
+        the network's link resolver.
+        """
         if not self._replicas:
             raise ValueError("a topology needs at least one replica")
         network = NetworkModel(default_link=self.default_link)
@@ -485,6 +531,13 @@ class Topology:
             for site_b in replicas:
                 if site_a != site_b:
                     network.set_link(site_a, site_b, self.wan_link(site_a, site_b), symmetric=False)
+
+        def resolve(source: str, destination: str) -> Optional[NetworkLink]:
+            if source in self._home and destination in self._home:
+                return self.cluster_path_link(source, destination)
+            return None
+
+        network.set_link_resolver(resolve)
         return network
 
     def build_scheduler(self) -> LinkScheduler:

@@ -78,6 +78,7 @@ class TestCSVExport:
             "straggler_count", "global_accuracy", "global_loss", "local_accuracy", "local_loss",
             "network_queued_s", "chain_wait_s",
             "replication_time_s", "replication_queued_s", "replication_count",
+            "exchange_time_s", "exchange_count", "wan_bytes",
         }
         assert set(rows[0]) == expected
         # Constant-cost runs leave the event-stream totals empty, not zero.
