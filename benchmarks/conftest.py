@@ -60,7 +60,14 @@ def edge_experiment(name, mode="sync", partitioning="dirichlet", alpha=0.5, roun
 
 def gpu_experiment(name, mode="sync", partitioning="dirichlet", alpha=0.5, rounds=GPU_ROUNDS,
                    seed=0, clusters=None, **kwargs) -> ExperimentConfig:
-    """A GPU-cluster experiment in the paper's 4-aggregator configuration."""
+    """A GPU-cluster experiment in the paper's 4-aggregator configuration.
+
+    Table-5 reproductions compare against the HBFL / no-collab baselines,
+    which have no event-stream equivalent, so these runs stay on the
+    constant-cost timing path unless a test opts in; the event-stream deltas
+    are characterized in docs/performance.md.
+    """
+    kwargs.setdefault("event_streams", False)
     return ExperimentConfig(
         name=name,
         workload=gpu_workload(rounds),

@@ -1,0 +1,21 @@
+"""Thin wrapper for running the perf-trajectory harness from a checkout.
+
+The harness itself lives in :mod:`repro.perf` so the installed ``repro
+bench`` console script reaches it too; this file exists so a checkout can
+run it directly::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py [--quick] [--out BENCH_sched.json]
+
+Deliberately not named ``test_*``: the grid is a measurement, not an
+assertion — pytest must not collect it.  The schema smoke test that CI runs
+instead is ``tests/test_perf_harness.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

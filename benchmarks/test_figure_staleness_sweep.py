@@ -32,7 +32,7 @@ QUORUMS = (1, 2, 3)
 STALENESS_BOUNDS = (40.0, 400.0)
 ROUNDS = 3
 VARIANTS = {
-    "constant": {},
+    "constant": {"event_streams": False},
     "event_streams": {"event_streams": True},
 }
 

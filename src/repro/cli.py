@@ -155,9 +155,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "(0 = fully isolated training)",
     )
     parser.add_argument(
-        "--event-streams", action="store_true", dest="event_streams",
+        "--event-streams", action=argparse.BooleanOptionalAction, dest="event_streams",
+        default=True,
         help="model network transfers and contract calls as contended event streams "
-        "(link queueing + block-interval/consensus chain delays)",
+        "(link queueing + block-interval/consensus chain delays); on by default, "
+        "disable with --no-event-streams for the constant-cost timing model",
     )
     parser.add_argument(
         "--link-bandwidth", type=float, default=None, dest="link_bandwidth",
@@ -220,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json-out", default=None, help="write the full result document to this JSON file")
     run_parser.add_argument("--csv-out", default=None, help="append per-aggregator rows to this CSV file")
     run_parser.add_argument("--show-resources", action="store_true", help="print the Table-7-style resource report")
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top functions by cumulative time",
+    )
+    run_parser.add_argument(
+        "--profile-top", type=int, default=25, dest="profile_top",
+        help="number of functions the --profile report shows (default 25)",
+    )
 
     compare_parser = subparsers.add_parser(
         "compare", help="run Sync, Async, Semi-sync and the baselines on the same data and compare"
@@ -227,13 +237,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(compare_parser)
 
     subparsers.add_parser("policies", help="list the available aggregation and scoring policies")
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the perf-trajectory benchmark grid and write BENCH_sched.json"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke grid: same benchmarks and schema, smaller sizes",
+    )
+    bench_parser.add_argument(
+        "--profile", action="store_true",
+        help="print cProfile top cumulative functions for each experiment benchmark",
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_sched.json",
+        help="output path for the BENCH document (default: BENCH_sched.json)",
+    )
     return parser
 
 
 def _command_run(args: argparse.Namespace) -> int:
     config = _build_config(args, name=f"cli-{args.workload}-{args.mode}")
     runner = ExperimentRunner(config)
-    result = runner.run()
+    if args.profile:
+        result, report = runner.run_profiled(top=args.profile_top)
+        print(report)
+    else:
+        result = runner.run()
     print(format_run_table(result))
     print()
     print(f"Mean global accuracy : {result.mean_global_accuracy * 100:.2f} %")
@@ -287,6 +317,17 @@ def _command_policies(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.perf import main as bench_main
+
+    argv: List[str] = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.profile:
+        argv.append("--profile")
+    return bench_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -297,6 +338,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_compare(args)
     if args.command == "policies":
         return _command_policies(args)
+    if args.command == "bench":
+        return _command_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

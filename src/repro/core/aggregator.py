@@ -26,6 +26,8 @@ constant-cost arithmetic is byte-for-byte the same as before.
 
 from __future__ import annotations
 
+import bisect
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -55,6 +57,11 @@ from repro.simnet.clock import SimClock
 from repro.simnet.resources import ResourceMonitor
 
 Weights = List[np.ndarray]
+
+#: deserialized models kept per aggregator; long gossip runs touch hundreds
+#: of CIDs, so the cache is an LRU bounded to the working set of a few rounds
+#: rather than the whole run's history.
+WEIGHTS_CACHE_CAPACITY = 32
 
 
 @dataclass
@@ -131,7 +138,9 @@ class UnifyFLAggregator:
         self.history: List[AggregatorRoundRecord] = []
         self.own_cids: List[str] = []
         self._last_self_score: float = float("nan")
-        self._weights_cache: Dict[str, Weights] = {}
+        self._weights_cache: "OrderedDict[str, Weights]" = OrderedDict()
+        self.weights_cache_hits = 0
+        self.weights_cache_evictions = 0
 
     # ------------------------------------------------------------------ identity
     @property
@@ -199,29 +208,49 @@ class UnifyFLAggregator:
                 continue
             if (record["round"], record["timestamp"]) > (existing["round"], existing["timestamp"]):
                 latest[record["submitter"]] = record
-        candidates = []
+        # Candidates are kept CID-sorted incrementally — each one drops into
+        # its slot via a bisect on the parallel key list — instead of a full
+        # re-sort of the list on every merge call.  Equal CIDs stay in
+        # insertion order, matching what a stable sort produced.
+        candidates: List[CandidateModel] = []
+        cids: List[str] = []
         for record in latest.values():
-            candidates.append(
-                CandidateModel(
-                    cid=record["cid"],
-                    submitter=record["submitter"],
-                    round_number=record["round"],
-                    scores=dict(record["scores"]),
-                )
+            candidate = CandidateModel(
+                cid=record["cid"],
+                submitter=record["submitter"],
+                round_number=record["round"],
+                scores=dict(record["scores"]),
             )
-        candidates.sort(key=lambda c: c.cid)
+            index = bisect.bisect_right(cids, candidate.cid)
+            cids.insert(index, candidate.cid)
+            candidates.insert(index, candidate)
         return candidates
 
     def fetch_weights(self, cid: str) -> Weights:
-        """Retrieve and deserialize a model from the storage swarm."""
-        if cid in self._weights_cache:
-            return self._weights_cache[cid]
+        """Retrieve and deserialize a model from the storage swarm.
+
+        Deserialized models sit in a CID-keyed LRU bounded to
+        ``WEIGHTS_CACHE_CAPACITY`` entries; hit and eviction counts surface
+        in the orchestration result's extras.
+        """
+        cached = self._weights_cache.get(cid)
+        if cached is not None:
+            self._weights_cache.move_to_end(cid)
+            self.weights_cache_hits += 1
+            return cached
         from repro.ipfs.cid import parse_cid
 
         payload = self.ipfs.get(parse_cid(cid))
         weights = weights_from_bytes(payload)
-        self._weights_cache[cid] = weights
+        self._cache_weights(cid, weights)
         return weights
+
+    def _cache_weights(self, cid: str, weights: Weights) -> None:
+        self._weights_cache[cid] = weights
+        self._weights_cache.move_to_end(cid)
+        while len(self._weights_cache) > WEIGHTS_CACHE_CAPACITY:
+            self._weights_cache.popitem(last=False)
+            self.weights_cache_evictions += 1
 
     def build_global_model(self, before_time: Optional[float] = None) -> RoundTiming:
         """Pull peer models, apply the policies, and merge into the global model.
@@ -325,7 +354,7 @@ class UnifyFLAggregator:
         if mine:
             self.chain.mine_until_empty()
         self.own_cids.append(str(cid))
-        self._weights_cache[str(cid)] = [np.array(w, copy=True) for w in weights]
+        self._cache_weights(str(cid), [np.array(w, copy=True) for w in weights])
         self._record_resources("agg", cpu=self.config.aggregator_profile.train_cpu_percent * 0.05)
         return str(cid), timing
 

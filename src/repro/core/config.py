@@ -212,9 +212,11 @@ class ExperimentConfig:
     monitor_resources: bool = True
     #: model network transfers and contract calls as first-class event streams
     #: (link contention + block-interval/consensus chain delays) instead of
-    #: per-interaction constants.  Off by default: constant-cost runs stay
-    #: bit-identical to previous releases for a fixed seed.
-    event_streams: bool = False
+    #: per-interaction constants.  On by default since the hot-path
+    #: acceleration pass; set ``False`` (CLI ``--no-event-streams``) for the
+    #: constant-cost arithmetic of the earliest releases, which stays
+    #: bit-identical for a fixed seed.
+    event_streams: bool = True
     #: event streams only: bandwidth cap of each cluster↔storage link, in
     #: mega**bytes** per simulated second (1 MB = 1e6 bytes); ``None`` uses
     #: the cluster's hardware profile bandwidth unchanged.

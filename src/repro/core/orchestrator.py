@@ -147,6 +147,14 @@ class _BaseOrchestrator:
         return self._result(num_rounds, policy)
 
     def _result(self, rounds: int, policy: Optional[RoundPolicy] = None) -> OrchestrationResult:
+        extras = dict(policy.extras()) if policy is not None else {}
+        # Memory behaviour of the per-aggregator model caches: hit rate says
+        # how much IPFS traffic the LRU absorbed, evictions say whether the
+        # working set outgrew its bound.
+        extras["weights_cache_hits"] = sum(a.weights_cache_hits for a in self.aggregators)
+        extras["weights_cache_evictions"] = sum(
+            a.weights_cache_evictions for a in self.aggregators
+        )
         return OrchestrationResult(
             mode=self.mode,
             rounds_completed=rounds,
@@ -154,7 +162,7 @@ class _BaseOrchestrator:
             total_times={a.name: a.total_time() for a in self.aggregators},
             idle_times=dict(self._idle_totals),
             straggler_counts=dict(self._straggles),
-            extras=policy.extras() if policy is not None else {},
+            extras=extras,
         )
 
 

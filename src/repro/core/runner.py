@@ -308,6 +308,31 @@ class ExperimentRunner:
         self._record_daemon_overhead(rounds)
         return self._collect_result(orchestration, rounds)
 
+    def run_profiled(
+        self, rounds: Optional[int] = None, top: int = 25, sort: str = "cumulative"
+    ) -> Tuple[ExperimentResult, str]:
+        """Execute the experiment under ``cProfile``.
+
+        Returns the result plus the profiler's top-``top`` functions by
+        ``sort`` order (default cumulative time) as printable text — the
+        profiling workflow behind ``repro run --profile`` and documented in
+        ``docs/performance.md``.
+        """
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = self.run(rounds=rounds)
+        finally:
+            profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats(sort).print_stats(top)
+        return result, buffer.getvalue()
+
     def _build_orchestrator(self):
         """Dispatch the configured mode through the round-policy registry.
 

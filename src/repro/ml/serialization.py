@@ -7,18 +7,33 @@ binary container with a magic header, a tensor count, and for each tensor its
 dtype, shape and raw bytes.  ``weights_checksum`` gives the stable digest the
 orchestrator and tests use to assert that every aggregator retrieved an
 identical model.
+
+Serialization is memoized by content: aggregators republish unchanged models
+round after round (a straggler's stale global, gossip re-offers, checksum
+probes next to uploads), so ``weights_to_bytes`` / ``weights_checksum`` key a
+small LRU on :func:`weights_fingerprint` — a digest over the tensors' dtypes,
+shapes and raw buffers — and hand back the cached payload instead of packing
+the same megabytes again.  The payload for a given fingerprint is unique, so
+the memo can never change a byte of output.
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
+from collections import OrderedDict
 from typing import List, Sequence
 
 import numpy as np
 
 _MAGIC = b"UFLW"
 _VERSION = 1
+
+#: fingerprint -> [payload, checksum-or-None] memo; bounded so long gossip
+#: runs with high model churn stay O(recent models) in memory.  The checksum
+#: slot fills lazily on the first ``weights_checksum`` for that content.
+_MEMO_CAPACITY = 16
+_memo: "OrderedDict[str, List]" = OrderedDict()
 
 _DTYPE_CODES = {
     "float64": 0,
@@ -33,8 +48,27 @@ class SerializationError(ValueError):
     """Raised when a byte payload is not a valid weight container."""
 
 
-def weights_to_bytes(weights: Sequence[np.ndarray]) -> bytes:
-    """Serialize a list of numpy arrays to a compact binary payload."""
+def weights_fingerprint(weights: Sequence[np.ndarray]) -> str:
+    """Hex SHA-256 content fingerprint of a weight list.
+
+    Covers the tensor count plus every tensor's post-coercion dtype, shape
+    and raw buffer — exactly the information :func:`weights_to_bytes` packs
+    — so two weight lists share a fingerprint iff they serialize to the
+    same payload.  One streaming hash pass, no container packing.
+    """
+    digest = hashlib.sha256()
+    digest.update(struct.pack("<I", len(weights)))
+    for tensor in weights:
+        arr = np.ascontiguousarray(tensor)
+        if arr.dtype.name not in _DTYPE_CODES:
+            arr = arr.astype(np.float64)
+        digest.update(arr.dtype.name.encode("ascii"))
+        digest.update(struct.pack(f"<B{arr.ndim}I", arr.ndim, *arr.shape))
+        digest.update(arr.data)
+    return digest.hexdigest()
+
+
+def _serialize(weights: Sequence[np.ndarray]) -> bytes:
     parts: List[bytes] = [_MAGIC, struct.pack("<BI", _VERSION, len(weights))]
     for tensor in weights:
         arr = np.ascontiguousarray(tensor)
@@ -48,6 +82,34 @@ def weights_to_bytes(weights: Sequence[np.ndarray]) -> bytes:
         parts.append(struct.pack("<Q", len(raw)))
         parts.append(raw)
     return b"".join(parts)
+
+
+def _memo_entry(weights: Sequence[np.ndarray]) -> List:
+    """The ``[payload, checksum-or-None]`` memo slot for ``weights``."""
+    fingerprint = weights_fingerprint(weights)
+    entry = _memo.get(fingerprint)
+    if entry is not None:
+        _memo.move_to_end(fingerprint)
+        return entry
+    entry = [_serialize(weights), None]
+    _memo[fingerprint] = entry
+    if len(_memo) > _MEMO_CAPACITY:
+        _memo.popitem(last=False)
+    return entry
+
+
+def clear_serialization_memo() -> None:
+    """Drop every memoized payload (test isolation hook)."""
+    _memo.clear()
+
+
+def weights_to_bytes(weights: Sequence[np.ndarray]) -> bytes:
+    """Serialize a list of numpy arrays to a compact binary payload.
+
+    Content-memoized: re-serializing an unchanged model (same dtypes, shapes
+    and bytes) returns the cached payload after one fingerprint pass.
+    """
+    return _memo_entry(weights)[0]
 
 
 def weights_from_bytes(payload: bytes) -> List[np.ndarray]:
@@ -95,5 +157,13 @@ def weights_from_bytes(payload: bytes) -> List[np.ndarray]:
 
 
 def weights_checksum(weights: Sequence[np.ndarray]) -> str:
-    """Hex SHA-256 digest of the serialized weights (stable across processes)."""
-    return hashlib.sha256(weights_to_bytes(weights)).hexdigest()
+    """Hex SHA-256 digest of the serialized weights (stable across processes).
+
+    Shares the serialization memo with :func:`weights_to_bytes`: a checksum
+    probe next to an upload of the same model hashes the payload once and
+    reuses it afterwards.
+    """
+    entry = _memo_entry(weights)
+    if entry[1] is None:
+        entry[1] = hashlib.sha256(entry[0]).hexdigest()
+    return entry[1]

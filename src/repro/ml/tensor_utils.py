@@ -91,12 +91,21 @@ def average_weights(
     total = float(sum(coefficients))
     if total <= 0:
         raise ValueError("coefficients must sum to a positive value")
-    normalised = [float(c) / total for c in coefficients]
-    result = zeros_like_weights(weight_sets[0])
-    for coef, weights in zip(normalised, weight_sets):
-        _check_compatible(result, weights)
-        for i, w in enumerate(weights):
-            result[i] = result[i] + coef * w
+    normalised = np.array([float(c) / total for c in coefficients], dtype=np.float64)
+    first = weight_sets[0]
+    for weights in weight_sets[1:]:
+        _check_compatible(first, weights)
+    # One stacked contraction per layer instead of a per-contributor Python
+    # loop: contributors go on axis 0, the float64 coefficient vector
+    # contracts them away in a single BLAS-backed pass.  The result is cast
+    # to the dtype scalar-times-array accumulation would have produced
+    # (floats keep their width, integer layers average in float64).
+    result: Weights = []
+    for i in range(len(first)):
+        stacked = np.stack([np.asarray(weights[i]) for weights in weight_sets])
+        target = np.result_type(first[i].dtype, np.result_type(stacked.dtype, 1.0))
+        layer = np.tensordot(normalised, stacked.astype(np.float64, copy=False), axes=1)
+        result.append(layer.astype(target, copy=False))
     return result
 
 

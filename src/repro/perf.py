@@ -1,0 +1,290 @@
+"""Perf-trajectory harness behind ``repro bench``.
+
+Runs a fixed grid of hot-path benchmarks and writes ``BENCH_sched.json`` at
+the repository root, so every optimisation PR pins its claimed win as a
+recorded {commit, events/sec, wall_s, peak RSS} point instead of a prose
+claim — the measured dispatch-rate trajectory event-driven middleware
+simulators justify their overhead numbers with.
+
+The grid:
+
+* ``sched_800`` — the headline number: an 800-cluster event-stream
+  scheduler storm (least-loaded replica selection + per-cluster submission
+  estimate + commit + totals read, the sync-mode hot loop) replayed through
+  the optimized :class:`~repro.simnet.network.LinkScheduler` *and* the
+  from-scratch :class:`~repro.simnet.reference.ReferenceLinkScheduler`.
+  Both must produce bit-identical logs; the reference's rate is recorded as
+  ``baseline`` and the ratio as ``speedup``.
+* ``table3_event_stream`` — a small sync-mode Table-3-style experiment with
+  event streams on, end to end through :class:`ExperimentRunner`.
+* ``hierarchical_2site`` / ``gossip_2site`` — the two federation modes over
+  a 2-site replicated topology.
+
+Events counted: for ``sched_800`` every scheduler API call the workload
+issues (backlog query, estimate, commit, totals read); for the experiment
+benchmarks every transfer committed on the fabric's scheduler.  Peak RSS is
+``ru_maxrss`` — a process-wide high-water mark, so later benchmarks inherit
+earlier peaks.
+
+Use ``--quick`` for the CI smoke grid (same schema, smaller sizes) and
+``--profile`` to print cProfile's top cumulative functions per experiment
+benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import subprocess
+import time
+from typing import Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+#: required keys of every benchmark entry (the CI bench job validates these).
+BENCHMARK_KEYS = ("events", "wall_s", "events_per_sec", "peak_rss_kb")
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _peak_rss_kb() -> int:
+    # Linux reports KiB; macOS bytes.  The trajectory is recorded on Linux
+    # CI, so normalise the common case and leave others as-is.
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+# --------------------------------------------------------------- sched_800
+def _sched_workload(scheduler, clusters: int, rounds: int, replicas: List[str]) -> int:
+    """Replay the sync-mode scheduler storm; returns the event count.
+
+    Mirrors what :class:`~repro.sched.actors.NetworkActor` and the sync
+    straggler decision do per round: every cluster scores each replica by
+    outstanding backlog + wire time, estimates its submission on the winner,
+    then commits the upload and reads the running totals.
+    """
+    capacity = {r: scheduler.capacity(r) for r in replicas}
+    num_bytes = 25_000_000  # a ~25 MB model update
+    events = 0
+    for round_index in range(rounds):
+        round_start = round_index * 30.0
+        for c in range(clusters):
+            name = f"c{c}"
+            at = round_start + 0.01 * c
+            best: Optional[Tuple[float, int]] = None
+            for i, replica in enumerate(replicas):
+                backlog = scheduler.outstanding_backlog(replica, at)
+                wire = scheduler.network.transfer_time(name, replica, num_bytes)
+                cost = backlog / capacity[replica] + wire
+                events += 1
+                if best is None or (cost, i) < best:
+                    best = (cost, i)
+            target = replicas[best[1]]
+            scheduler.estimate(name, target, num_bytes, at)
+            scheduler.transfer(name, target, num_bytes, at)
+            _ = scheduler.total_queued_time
+            _ = scheduler.total_wire_time
+            events += 4
+    return events
+
+
+def _build_sched(scheduler_cls, clusters: int, replicas: int, capacity: int):
+    from repro.simnet.network import NetworkLink, NetworkModel
+
+    network = NetworkModel(default_link=NetworkLink(latency_s=0.005, bandwidth_bytes_per_s=100e6))
+    names = [f"storage-{i}" for i in range(replicas)]
+    return scheduler_cls(network, capacities={name: capacity for name in names}), names
+
+
+def bench_sched_800(quick: bool = False) -> Dict[str, object]:
+    """Optimized vs reference scheduler on the 800-cluster storm."""
+    from repro.simnet.network import LinkScheduler
+    from repro.simnet.reference import ReferenceLinkScheduler
+
+    clusters = 200 if quick else 800
+    rounds = 2 if quick else 5
+
+    fast, replicas = _build_sched(LinkScheduler, clusters, 4, 4)
+    start = time.perf_counter()
+    events = _sched_workload(fast, clusters, rounds, replicas)
+    wall = time.perf_counter() - start
+
+    slow, replicas = _build_sched(ReferenceLinkScheduler, clusters, 4, 4)
+    ref_start = time.perf_counter()
+    ref_events = _sched_workload(slow, clusters, rounds, replicas)
+    ref_wall = time.perf_counter() - ref_start
+
+    if fast.log != slow.log:
+        raise AssertionError("optimized and reference schedulers diverged on the bench workload")
+    if events != ref_events:
+        raise AssertionError("optimized and reference runs issued different event counts")
+
+    return {
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall, 1),
+        "peak_rss_kb": _peak_rss_kb(),
+        "baseline": {
+            "wall_s": round(ref_wall, 4),
+            "events_per_sec": round(ref_events / ref_wall, 1),
+        },
+        "speedup": round(ref_wall / wall, 2),
+        "params": {"clusters": clusters, "rounds": rounds, "replicas": 4, "capacity": 4},
+    }
+
+
+# ------------------------------------------------------------- experiments
+def _experiment_config(name: str, mode: str, quick: bool, **overrides):
+    from repro.core.config import ExperimentConfig, cifar10_workload, gpu_cluster_configs
+
+    rounds = 1 if quick else 2
+    clusters = 2 if quick else 3
+    workload = cifar10_workload(rounds=rounds, samples_per_class=8, image_size=8)
+    kwargs = dict(
+        name=name,
+        workload=workload,
+        clusters=gpu_cluster_configs(num_clusters=clusters, num_clients=2),
+        mode=mode,
+        rounds=rounds,
+        seed=0,
+        event_streams=True,
+    )
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def _bench_experiment(config, profile: bool = False) -> Dict[str, object]:
+    from repro.core.runner import ExperimentRunner
+
+    runner = ExperimentRunner(config)
+    runner.build()
+    start = time.perf_counter()
+    if profile:
+        _, report = runner.run_profiled()
+        print(report)
+    else:
+        runner.run()
+    wall = time.perf_counter() - start
+    events = len(runner.comm.network.scheduler.log) if runner.comm is not None else 0
+    if runner.chain is not None:
+        events += int(runner.chain.metrics.as_dict().get("transactions_processed", 0))
+    return {
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+        "params": {"mode": config.mode, "clusters": len(config.clusters), "rounds": config.rounds},
+    }
+
+
+def bench_table3(quick: bool = False, profile: bool = False) -> Dict[str, object]:
+    """Sync-mode Table-3-style run with event streams (the new default)."""
+    return _bench_experiment(_experiment_config("bench-table3", "sync", quick), profile)
+
+
+def bench_hierarchical_2site(quick: bool = False, profile: bool = False) -> Dict[str, object]:
+    """Hierarchical federation over a 2-site replicated topology."""
+    config = _experiment_config(
+        "bench-hier", "hierarchical", quick,
+        storage_replicas=2, replica_capacity=2, local_rounds_per_global=2,
+    )
+    return _bench_experiment(config, profile)
+
+
+def bench_gossip_2site(quick: bool = False, profile: bool = False) -> Dict[str, object]:
+    """Gossip federation over a 2-site replicated topology."""
+    config = _experiment_config(
+        "bench-gossip", "gossip", quick,
+        storage_replicas=2, replica_capacity=2, gossip_fanout=1,
+    )
+    return _bench_experiment(config, profile)
+
+
+# ------------------------------------------------------------------ driver
+def run_benchmarks(quick: bool = False, profile: bool = False) -> Dict[str, object]:
+    """Run the fixed grid and return the BENCH document."""
+    benchmarks: Dict[str, Dict[str, object]] = {}
+    benchmarks["sched_800"] = bench_sched_800(quick=quick)
+    benchmarks["table3_event_stream"] = bench_table3(quick=quick, profile=profile)
+    benchmarks["hierarchical_2site"] = bench_hierarchical_2site(quick=quick, profile=profile)
+    benchmarks["gossip_2site"] = bench_gossip_2site(quick=quick, profile=profile)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "commit": _git_commit(),
+        "quick": quick,
+        "benchmarks": benchmarks,
+    }
+
+
+def validate_document(document: Dict[str, object]) -> List[str]:
+    """Schema check used by the CI bench job; returns a list of problems."""
+    problems: List[str] = []
+    for key in ("schema_version", "commit", "quick", "benchmarks"):
+        if key not in document:
+            problems.append(f"missing top-level key '{key}'")
+    for name, entry in (document.get("benchmarks") or {}).items():
+        for key in BENCHMARK_KEYS:
+            if key not in entry:
+                problems.append(f"benchmark '{name}' missing key '{key}'")
+            elif not isinstance(entry[key], (int, float)):
+                problems.append(f"benchmark '{name}' key '{key}' is not numeric")
+    sched = (document.get("benchmarks") or {}).get("sched_800")
+    if sched is not None and "speedup" not in sched:
+        problems.append("benchmark 'sched_800' missing key 'speedup'")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point shared by ``repro bench`` and ``benchmarks/perf_trajectory.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="run the perf-trajectory benchmark grid"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke grid: same benchmarks and schema, smaller sizes",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print cProfile top cumulative functions for each experiment benchmark",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sched.json",
+        help="output path for the BENCH document (default: BENCH_sched.json)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_benchmarks(quick=args.quick, profile=args.profile)
+    problems = validate_document(document)
+    if problems:
+        for problem in problems:
+            print(f"schema problem: {problem}")
+        return 1
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in document["benchmarks"].items():
+        line = f"{name:<24}{entry['events']:>10} events  {entry['wall_s']:>9.3f} s  {entry['events_per_sec']:>12.1f} ev/s"
+        if "speedup" in entry:
+            line += f"  ({entry['speedup']:.2f}x vs reference)"
+        print(line)
+    print(f"BENCH document written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

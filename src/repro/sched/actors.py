@@ -33,9 +33,9 @@ middleware literature insists the middle tier must expose:
 Both actors keep an append-only event log, so a run can report *per-phase*
 communication and chain time (see ``CommFabric.summary``) instead of folding
 everything into one opaque number.  The round policies and the aggregator
-consume these streams when an experiment sets ``event_streams=True``; with
-the flag off (the default) the constant-cost path is untouched and runs stay
-bit-identical to previous releases.
+consume these streams when an experiment runs with ``event_streams=True``
+(the default); with the flag off the constant-cost path is untouched and
+runs stay bit-identical to previous releases.
 """
 
 from __future__ import annotations

@@ -43,6 +43,7 @@ from repro.simnet.network import (
     ScheduledTransfer,
     Topology,
 )
+from repro.simnet.reference import ReferenceLinkScheduler
 from repro.simnet.replication import REPLICATION_MODES, ReplicaDirectory
 from repro.simnet.resources import ProcessSample, ResourceMonitor, ResourceReport
 
@@ -58,6 +59,7 @@ __all__ = [
     "HardwareProfile",
     "profile_by_name",
     "LinkScheduler",
+    "ReferenceLinkScheduler",
     "NetworkLink",
     "NetworkModel",
     "ScheduledTransfer",

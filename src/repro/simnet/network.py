@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
 
@@ -155,6 +156,31 @@ class LinkScheduler:
     The wire time of an uncontended transfer is exactly
     ``NetworkModel.transfer_time`` — enabling contention never makes an
     isolated transfer slower, it only delays transfers that overlap.
+
+    Hot-path design (the sync straggler decision calls an estimate per
+    cluster per round, so planning dominates event-stream runs):
+
+    * Placement queries are *memoized per commit epoch*: repeated
+      ``estimate`` / ``preview`` calls with the same arguments between two
+      commits return the cached plan, and a ``transfer`` that follows a
+      preview with identical arguments commits the already-computed plan
+      instead of re-planning (the single-pass plan-and-commit path).
+    * The saturation sweep of a capacity > 1 endpoint and the backlog index
+      behind :meth:`outstanding_backlog` are cached per endpoint behind a
+      dirty flag: only a commit *touching that endpoint* invalidates them,
+      so an estimate storm between commits pays one sweep, not one per call.
+    * ``total_queued_time`` / ``total_wire_time`` are running counters
+      updated at commit time (accumulated in log order, so they stay
+      bit-identical to summing the log), never O(log-length) scans.
+    * A commit whose reservation starts at or after everything already
+      committed on the endpoint (the common causal case) appends to the
+      timeline and cannot create a new saturated region, so the cached
+      sweep stays valid.
+
+    Every cache is an *acceleration* only: placements, queued-time and
+    totals are bit-identical to the naive from-scratch recomputation, which
+    :class:`repro.simnet.reference.ReferenceLinkScheduler` keeps alive as
+    the property-test oracle.
     """
 
     def __init__(
@@ -174,6 +200,23 @@ class LinkScheduler:
         self._boundaries: Dict[str, List[Tuple[float, int]]] = {}
         #: committed transfers, in request order (the transfer event log).
         self.log: List[ScheduledTransfer] = []
+        #: commit epoch: bumped by every mutation (transfer / set_capacity);
+        #: exposed so callers can key their own memoization on it.
+        self.epoch = 0
+        self._queued_total = 0.0
+        self._wire_total = 0.0
+        #: latest committed finish time per endpoint (0.0 when idle) — the
+        #: O(1) "is this placement past the whole timeline?" fast path.
+        self._max_end: Dict[str, float] = {}
+        #: merged saturated intervals per capacity>1 endpoint (dirty-flagged:
+        #: absent means recompute on next use).
+        self._saturated_cache: Dict[str, List[Tuple[float, float]]] = {}
+        #: per-endpoint ``(starts, suffix_durations, prefix_max_end)`` index
+        #: behind outstanding_backlog, same dirty-flag discipline.
+        self._backlog_cache: Dict[str, Tuple[List[float], List[float], List[float]]] = {}
+        #: placement memo for the current epoch, keyed by
+        #: ``(source, destination, num_bytes, at, floor)``.
+        self._plan_cache: Dict[Tuple[str, str, int, float, float], ScheduledTransfer] = {}
         for endpoint, capacity in (capacities or {}).items():
             self.set_capacity(endpoint, capacity)
 
@@ -206,6 +249,11 @@ class LinkScheduler:
             self._boundaries[endpoint] = boundaries
         else:
             self._boundaries.pop(endpoint, None)
+        # A capacity change redraws the endpoint's saturation picture and
+        # stales every memoized placement.
+        self._saturated_cache.pop(endpoint, None)
+        self._plan_cache.clear()
+        self.epoch += 1
 
     def capacity(self, endpoint: str) -> int:
         """Parallel capacity of one endpoint (1 unless raised)."""
@@ -218,13 +266,37 @@ class LinkScheduler:
     def outstanding_backlog(self, endpoint: str, at: float) -> float:
         """Reserved seconds still scheduled at or after ``at`` on one endpoint.
 
-        The load metric behind deterministic least-loaded replica selection;
-        iterates the committed reservations without copying them.
+        The load metric behind deterministic least-loaded replica selection.
+        Answered from a per-endpoint index — interval starts, suffix sums of
+        their durations, and a prefix-max of their ends — rebuilt only after
+        a commit touches the endpoint, so the per-round selection storm
+        bisects into the index instead of rescanning the reservation
+        history on every call.
         """
-        total = 0.0
-        for start, end in self._busy.get(endpoint, ()):
+        intervals = self._busy.get(endpoint)
+        if not intervals:
+            return 0.0
+        index = self._backlog_cache.get(endpoint)
+        if index is None:
+            starts = [start for start, _ in intervals]
+            suffix = list(accumulate(end - start for start, end in reversed(intervals)))
+            suffix.reverse()
+            prefix_max_end = list(accumulate((end for _, end in intervals), max))
+            index = (starts, suffix, prefix_max_end)
+            self._backlog_cache[endpoint] = index
+        starts, suffix, prefix_max_end = index
+        first = bisect.bisect_left(starts, at)
+        # Intervals starting at or after ``at`` contribute their whole
+        # duration: one suffix-sum lookup.
+        total = suffix[first] if first < len(starts) else 0.0
+        # Earlier intervals may still straddle ``at``; walk them newest-first
+        # and stop once the running max end falls behind ``at``.
+        for i in range(first - 1, -1, -1):
+            if prefix_max_end[i] <= at:
+                break
+            end = intervals[i][1]
             if end > at:
-                total += end - max(start, at)
+                total += end - at
         return total
 
     def _saturated_intervals(self, endpoint: str) -> List[Tuple[float, float]]:
@@ -234,7 +306,9 @@ class LinkScheduler:
         (capacity-1 placement stays bit-identical to the pre-capacity
         scheduler).  For ``c > 1`` a sweep over the incrementally-maintained
         reservation boundaries finds the regions with ``>= c`` concurrent
-        transfers — only those block a new reservation.
+        transfers — only those block a new reservation.  The sweep result is
+        cached per endpoint; commits that merely extend the timeline keep it
+        valid, anything else drops it.
         """
         intervals = self._busy.get(endpoint)
         if not intervals:
@@ -242,6 +316,9 @@ class LinkScheduler:
         cap = self.capacity(endpoint)
         if cap == 1:
             return intervals
+        cached = self._saturated_cache.get(endpoint)
+        if cached is not None:
+            return cached
         # Sorted with the -1 before the +1 at equal times: a reservation
         # ending exactly when another starts never saturates the instant
         # between them.
@@ -257,6 +334,7 @@ class LinkScheduler:
                 if time > block_start:
                     saturated.append((block_start, time))
                 block_start = None
+        self._saturated_cache[endpoint] = saturated
         return saturated
 
     @staticmethod
@@ -280,6 +358,12 @@ class LinkScheduler:
 
     def _earliest_start(self, endpoints: List[str], at: float, duration: float) -> float:
         """First time ``>= at`` where every endpoint has a slot for ``duration``."""
+        # Fast path: a request at or past every committed reservation on
+        # every endpoint cannot conflict with anything — it starts
+        # immediately, no sweep and no bisect.  This is the common causal
+        # case (simulated time mostly moves forward).
+        if all(at >= self._max_end.get(endpoint, 0.0) for endpoint in endpoints):
+            return at
         blocked = {endpoint: self._saturated_intervals(endpoint) for endpoint in endpoints}
         start = at
         moved = True
@@ -303,11 +387,18 @@ class LinkScheduler:
         at: float,
         earliest_start: Optional[float] = None,
     ) -> ScheduledTransfer:
+        floor = at if earliest_start is None else max(at, earliest_start)
+        # Placements are pure functions of the committed schedule, so a repeat
+        # query between two commits (the sync straggler loop estimates every
+        # cluster, then commits the winner) returns the memoized plan.
+        key = (source, destination, num_bytes, at, floor)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
         duration = self.network.transfer_time(source, destination, num_bytes)
         endpoints = [source] if source == destination else [source, destination]
-        floor = at if earliest_start is None else max(at, earliest_start)
         start = self._earliest_start(endpoints, floor, duration)
-        return ScheduledTransfer(
+        scheduled = ScheduledTransfer(
             source=source,
             destination=destination,
             num_bytes=num_bytes,
@@ -315,6 +406,8 @@ class LinkScheduler:
             started_at=start,
             finished_at=start + duration,
         )
+        self._plan_cache[key] = scheduled
+        return scheduled
 
     def preview(
         self,
@@ -359,27 +452,71 @@ class LinkScheduler:
         """
         if at < 0:
             raise ValueError("transfer request time must be non-negative")
+        return self.plan_and_commit(source, destination, num_bytes, at, earliest_start)
+
+    def plan_and_commit(
+        self,
+        source: str,
+        destination: str,
+        num_bytes: int,
+        at: float,
+        earliest_start: Optional[float] = None,
+    ) -> ScheduledTransfer:
+        """Single-pass plan + commit.
+
+        Reuses the placement memoized by a preceding ``preview`` /
+        ``estimate`` with the same arguments at the current epoch — the
+        estimate-then-commit pattern every actor follows plans exactly once.
+        """
         scheduled = self._plan(source, destination, num_bytes, at, earliest_start)
+        self._commit(scheduled)
+        return scheduled
+
+    def _commit(self, scheduled: ScheduledTransfer) -> None:
+        """Reserve a planned transfer and refresh the incremental indexes."""
         interval = (scheduled.started_at, scheduled.finished_at)
-        endpoints = {source, destination}
+        endpoints = {scheduled.source, scheduled.destination}
         for endpoint in endpoints:
             bisect.insort(self._busy.setdefault(endpoint, []), interval)
             boundaries = self._boundaries.get(endpoint)
             if boundaries is not None:
                 bisect.insort(boundaries, (scheduled.started_at, 1))
                 bisect.insort(boundaries, (scheduled.finished_at, -1))
+            previous_end = self._max_end.get(endpoint, 0.0)
+            if scheduled.finished_at > previous_end:
+                self._max_end[endpoint] = scheduled.finished_at
+            # A reservation starting at or after everything already committed
+            # on the endpoint only extends the timeline — it cannot raise
+            # concurrency anywhere, so the cached saturation sweep survives.
+            # Anything placed into the existing schedule drops it.
+            if self.capacity(endpoint) > 1 and scheduled.started_at < previous_end:
+                self._saturated_cache.pop(endpoint, None)
+            self._backlog_cache.pop(endpoint, None)
         self.log.append(scheduled)
-        return scheduled
+        # Accumulated in log-append order, so the running totals stay
+        # bit-identical to summing the log.
+        self._queued_total += scheduled.queued_time
+        self._wire_total += scheduled.duration
+        self._plan_cache.clear()
+        self.epoch += 1
 
     @property
     def total_queued_time(self) -> float:
-        """Seconds transfers spent waiting for busy endpoints, summed."""
-        return sum(t.queued_time for t in self.log)
+        """Seconds transfers spent waiting for busy endpoints, summed.
+
+        A running counter updated at commit time — never an O(log-length)
+        scan.
+        """
+        return self._queued_total
 
     @property
     def total_wire_time(self) -> float:
-        """Pure transfer time (no queueing) of every committed transfer."""
-        return sum(t.duration for t in self.log)
+        """Pure transfer time (no queueing) of every committed transfer.
+
+        A running counter updated at commit time — never an O(log-length)
+        scan.
+        """
+        return self._wire_total
 
 
 class Topology:

@@ -6,10 +6,11 @@ Covers, bottom-up:
   ordering on shared endpoints;
 * :class:`~repro.sched.actors.NetworkActor` / :class:`~repro.sched.actors.ChainActor`
   — transfer streams, block-interval quantisation, consensus delay;
-* end-to-end experiments with ``event_streams=True`` — chain-delay accounting
-  inside round records and the per-phase communication report;
-* the guarantee that ``event_streams=False`` (the default) leaves results
-  bit-identical to the constant-cost path.
+* end-to-end experiments with ``event_streams=True`` (the default since the
+  hot-path acceleration pass) — chain-delay accounting inside round records
+  and the per-phase communication report;
+* the guarantee that opting out with ``event_streams=False`` leaves results
+  bit-identical to the constant-cost path of the earliest releases.
 """
 
 from __future__ import annotations
@@ -536,17 +537,49 @@ class TestEventStreamExperiments:
         assert slow.max_total_time > fast.max_total_time
 
     def test_off_mode_attaches_no_fabric_and_stays_identical(self):
-        default_runner = ExperimentRunner(tiny_config("async", event_streams=False))
-        default_result = default_runner.run()
-        assert default_runner.comm is None
-        assert all(a.comm is None for a in default_runner.aggregators)
-        assert default_result.comm_metrics == {}
+        off_runner = ExperimentRunner(tiny_config("async", event_streams=False))
+        off_result = off_runner.run()
+        assert off_runner.comm is None
+        assert all(a.comm is None for a in off_runner.aggregators)
+        assert off_result.comm_metrics == {}
         # Same config again: the constant-cost path is deterministic.
         repeat = ExperimentRunner(tiny_config("async", event_streams=False)).run()
-        for first, second in zip(default_result.aggregators, repeat.aggregators):
+        for first, second in zip(off_result.aggregators, repeat.aggregators):
             assert first.total_time == second.total_time
             assert first.global_accuracy == second.global_accuracy
             assert [r.sim_time for r in first.history] == [r.sim_time for r in second.history]
+
+    def test_event_streams_are_the_default(self):
+        """Guard on the default flip: a config that says nothing gets the
+        event-stream fabric, and results are unchanged from spelling the
+        default out explicitly."""
+        base = dict(
+            name="es-default",
+            workload=cifar10_workload(rounds=2, samples_per_class=10, image_size=8),
+            clusters=edge_cluster_configs(num_clients=2),
+            mode="async",
+            rounds=2,
+            seed=3,
+        )
+        config = ExperimentConfig(**base)
+        assert config.event_streams is True
+        runner = ExperimentRunner(config)
+        result = runner.run()
+        assert runner.comm is not None
+        assert result.comm_metrics["upload_count"] > 0
+        explicit = ExperimentRunner(ExperimentConfig(event_streams=True, **base)).run()
+        for a, b in zip(result.aggregators, explicit.aggregators):
+            assert a.total_time == b.total_time
+            assert a.global_accuracy == b.global_accuracy
+
+    def test_cli_default_and_opt_out(self):
+        """--no-event-streams is the opt-out; the bare parser defaults on."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["run"]).event_streams is True
+        assert parser.parse_args(["run", "--no-event-streams"]).event_streams is False
+        assert parser.parse_args(["run", "--event-streams"]).event_streams is True
 
     @pytest.mark.parametrize("mode", ["sync", "semi"])
     def test_event_streams_are_deterministic(self, mode):

@@ -1,0 +1,118 @@
+"""Property test: the optimized LinkScheduler equals the from-scratch reference.
+
+Every acceleration inside :class:`repro.simnet.network.LinkScheduler` — the
+per-epoch plan memo, the dirty-flagged saturation and backlog caches, the
+tail-append fast path, the running totals — must be invisible: randomized
+transfer workloads driven through the optimized scheduler and through
+:class:`repro.simnet.reference.ReferenceLinkScheduler` have to produce
+bit-identical placements, backlog readings and queued/wire-time totals.
+Exact ``==`` throughout; no tolerances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simnet.network import LinkScheduler, NetworkLink, NetworkModel
+from repro.simnet.reference import ReferenceLinkScheduler
+
+
+def _build_pair(seed: int, num_endpoints: int, max_capacity: int):
+    rng = random.Random(seed)
+    network = NetworkModel(
+        default_link=NetworkLink(latency_s=0.002, bandwidth_bytes_per_s=50e6)
+    )
+    endpoints = [f"e{i}" for i in range(num_endpoints)]
+    capacities = {name: rng.randint(1, max_capacity) for name in endpoints}
+    fast = LinkScheduler(network, capacities=dict(capacities))
+    slow = ReferenceLinkScheduler(network, capacities=dict(capacities))
+    return rng, endpoints, fast, slow
+
+
+def _random_workload(rng, endpoints, fast, slow, operations: int):
+    """Drive both schedulers through one interleaved random op stream."""
+    now = 0.0
+    for _ in range(operations):
+        op = rng.random()
+        source = rng.choice(endpoints)
+        destination = rng.choice(endpoints)
+        num_bytes = rng.randint(1, 60_000_000)
+        # Mostly forward-moving time with occasional jumps back, so both the
+        # tail-append fast path and the into-the-schedule placements run.
+        now = max(0.0, now + rng.uniform(-2.0, 6.0))
+        floor = now + rng.uniform(0.0, 3.0) if rng.random() < 0.3 else None
+        if op < 0.35:
+            a = fast.estimate(source, destination, num_bytes, now)
+            b = slow.estimate(source, destination, num_bytes, now)
+            assert a == b
+            # Repeat at the same epoch: the memoized answer must not drift.
+            assert fast.estimate(source, destination, num_bytes, now) == a
+        elif op < 0.5:
+            a = fast.preview(source, destination, num_bytes, now, earliest_start=floor)
+            b = slow.preview(source, destination, num_bytes, now, earliest_start=floor)
+            assert a == b
+        elif op < 0.65:
+            probe = rng.choice(endpoints)
+            at = max(0.0, now + rng.uniform(-4.0, 4.0))
+            assert fast.outstanding_backlog(probe, at) == slow.outstanding_backlog(probe, at)
+        else:
+            a = fast.transfer(source, destination, num_bytes, now, earliest_start=floor)
+            b = slow.transfer(source, destination, num_bytes, now, earliest_start=floor)
+            assert a == b
+        assert fast.total_queued_time == slow.total_queued_time
+        assert fast.total_wire_time == slow.total_wire_time
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_equivalence(seed):
+    rng, endpoints, fast, slow = _build_pair(seed, num_endpoints=5, max_capacity=4)
+    _random_workload(rng, endpoints, fast, slow, operations=220)
+    assert fast.log == slow.log
+    for endpoint in endpoints:
+        assert fast.busy_intervals(endpoint) == slow.busy_intervals(endpoint)
+
+
+def test_serial_only_equivalence():
+    """All-serial endpoints exercise the capacity-1 placement path."""
+    rng, endpoints, fast, slow = _build_pair(seed=99, num_endpoints=4, max_capacity=1)
+    _random_workload(rng, endpoints, fast, slow, operations=200)
+    assert fast.log == slow.log
+
+
+def test_estimate_then_commit_reuses_plan():
+    """The estimate-then-transfer pattern commits exactly the previewed slot."""
+    network = NetworkModel()
+    fast = LinkScheduler(network, capacities={"storage": 2})
+    planned = fast.preview("c0", "storage", 10_000_000, 5.0)
+    epoch_before = fast.epoch
+    committed = fast.transfer("c0", "storage", 10_000_000, 5.0)
+    assert committed == planned
+    assert fast.epoch == epoch_before + 1
+    # A new query after the commit replans against the grown schedule.
+    assert fast.preview("c1", "storage", 10_000_000, 5.0).started_at >= 5.0
+
+
+def test_capacity_change_invalidates_placement_memo():
+    fast = LinkScheduler(NetworkModel())
+    slow = ReferenceLinkScheduler(NetworkModel())
+    for sched in (fast, slow):
+        sched.transfer("a", "b", 30_000_000, 0.0)
+    before_fast = fast.estimate("a", "b", 30_000_000, 0.0)
+    before_slow = slow.estimate("a", "b", 30_000_000, 0.0)
+    assert before_fast == before_slow
+    for sched in (fast, slow):
+        sched.set_capacity("c", 3)
+        sched.transfer("a", "c", 30_000_000, 0.0)
+    assert fast.estimate("a", "b", 30_000_000, 0.0) == slow.estimate("a", "b", 30_000_000, 0.0)
+
+
+def test_running_totals_match_log_sums():
+    rng, endpoints, fast, _ = _build_pair(seed=7, num_endpoints=3, max_capacity=3)
+    now = 0.0
+    for _ in range(150):
+        now += rng.uniform(0.0, 2.0)
+        fast.transfer(rng.choice(endpoints), rng.choice(endpoints), rng.randint(1, 40_000_000), now)
+    assert fast.total_queued_time == sum(t.queued_time for t in fast.log)
+    assert fast.total_wire_time == sum(t.duration for t in fast.log)

@@ -1,0 +1,146 @@
+"""Tests for the perf-trajectory harness and the hot-path memoization layers.
+
+The CI ``bench`` job runs ``repro bench --quick`` and validates the written
+document with :func:`repro.perf.validate_document`; these tests pin that
+contract (schema keys, scheduler equivalence inside the benchmark, CLI
+wiring) plus the caches the acceleration pass added around serialization,
+the blockstore and the aggregator's weights LRU.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.cli import build_parser
+from repro.ipfs.blockstore import BlockStore
+from repro.ml.serialization import (
+    clear_serialization_memo,
+    weights_checksum,
+    weights_fingerprint,
+    weights_to_bytes,
+)
+
+
+class TestBenchHarness:
+    def test_quick_sched_benchmark_matches_reference(self):
+        entry = perf.bench_sched_800(quick=True)
+        for key in perf.BENCHMARK_KEYS:
+            assert key in entry
+        # The benchmark itself asserts bit-identical logs; the reference
+        # must never be *faster* by more than noise.
+        assert entry["speedup"] > 0.5
+        assert entry["events"] > 0
+
+    def test_document_schema_roundtrip(self, tmp_path):
+        document = {
+            "schema_version": perf.SCHEMA_VERSION,
+            "commit": "abc",
+            "quick": True,
+            "benchmarks": {
+                "sched_800": {
+                    "events": 10, "wall_s": 0.1, "events_per_sec": 100.0,
+                    "peak_rss_kb": 1, "speedup": 2.0,
+                },
+            },
+        }
+        assert perf.validate_document(document) == []
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert perf.validate_document(json.loads(path.read_text())) == []
+
+    def test_validator_reports_missing_keys(self):
+        problems = perf.validate_document({"benchmarks": {"sched_800": {"events": 1}}})
+        assert any("wall_s" in p for p in problems)
+        assert any("schema_version" in p for p in problems)
+        assert any("speedup" in p for p in problems)
+
+    def test_cli_has_bench_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--quick", "--out", "x.json"])
+        assert args.command == "bench"
+        assert args.quick is True
+        assert args.out == "x.json"
+        run_args = parser.parse_args(["run", "--profile"])
+        assert run_args.profile is True
+
+
+class TestSerializationMemo:
+    def setup_method(self):
+        clear_serialization_memo()
+
+    def test_fingerprint_separates_content(self):
+        a = [np.arange(6, dtype=np.float32).reshape(2, 3)]
+        b = [np.arange(6, dtype=np.float32).reshape(2, 3)]
+        c = [np.arange(6, dtype=np.float32).reshape(3, 2)]
+        d = [np.arange(6, dtype=np.float64).reshape(2, 3)]
+        assert weights_fingerprint(a) == weights_fingerprint(b)
+        assert weights_fingerprint(a) != weights_fingerprint(c)
+        assert weights_fingerprint(a) != weights_fingerprint(d)
+
+    def test_repeat_serialization_hits_the_memo(self):
+        weights = [np.ones((4, 4), dtype=np.float32), np.zeros(3, dtype=np.int64)]
+        first = weights_to_bytes(weights)
+        second = weights_to_bytes([w.copy() for w in weights])
+        assert first == second
+        # Same fingerprint -> the exact cached payload object comes back.
+        assert second is first
+
+    def test_checksum_shares_the_payload_memo(self):
+        weights = [np.full((5,), 2.5, dtype=np.float64)]
+        checksum = weights_checksum(weights)
+        import hashlib
+
+        assert checksum == hashlib.sha256(weights_to_bytes(weights)).hexdigest()
+        assert weights_checksum([w.copy() for w in weights]) == checksum
+
+    def test_mutated_weights_reserialize(self):
+        weights = [np.ones(4, dtype=np.float32)]
+        before = weights_to_bytes(weights)
+        weights[0][0] = 7.0
+        after = weights_to_bytes(weights)
+        assert before != after
+
+
+class TestBlockStorePutMemo:
+    def test_repeat_put_returns_same_root(self):
+        store = BlockStore(chunk_size=8)
+        payload = b"x" * 30
+        first = store.put(payload)
+        second = store.put(b"x" * 30)
+        assert first.cid == second.cid
+        assert store.object_count == 1
+
+    def test_put_after_delete_reinstalls_blocks(self):
+        store = BlockStore(chunk_size=8)
+        payload = b"y" * 20
+        obj = store.put(payload)
+        assert store.delete(obj.cid)
+        assert store.get(obj.cid) is None
+        again = store.put(payload)
+        assert again.cid == obj.cid
+        assert store.get(again.cid) == payload
+
+
+def test_weights_cache_counters_surface_in_extras():
+    from repro.core.config import ExperimentConfig, cifar10_workload, edge_cluster_configs
+    from repro.core.runner import run_experiment
+
+    config = ExperimentConfig(
+        name="lru-extras",
+        workload=cifar10_workload(rounds=2, samples_per_class=8, image_size=8),
+        clusters=edge_cluster_configs(num_clients=2),
+        mode="async",
+        rounds=2,
+        seed=1,
+        event_streams=False,
+    )
+    result = run_experiment(config)
+    extras = result.orchestration_extras
+    assert "weights_cache_hits" in extras
+    assert "weights_cache_evictions" in extras
+    assert extras["weights_cache_hits"] >= 0
+    assert extras["weights_cache_evictions"] == 0  # tiny run: nothing evicted

@@ -28,6 +28,9 @@ def small_result():
         partitioning="iid",
         rounds=2,
         seed=13,
+        # The CSV tests assert the constant-cost reporting shape (empty
+        # event-stream columns), so opt out of the event-stream default.
+        event_streams=False,
     )
     return run_experiment(config)
 
