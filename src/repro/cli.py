@@ -111,6 +111,17 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         replication_mode=args.replication_mode,
         wan_latency_s=args.wan_latency,
         wan_bandwidth_mbytes_per_s=args.wan_bandwidth,
+        churn_rate=args.churn_rate,
+        replica_outages=args.replica_outages,
+        outage_duration_s=args.outage_duration,
+        wan_partitions=args.wan_partitions,
+        partition_duration_s=args.partition_duration,
+        fault_seed=args.fault_seed,
+        retry_max=args.retry_max,
+        backoff_base_s=args.backoff_base,
+        backoff_jitter=args.backoff_jitter,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
 
 
@@ -207,6 +218,60 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--wan-bandwidth", type=float, default=50.0, dest="wan_bandwidth",
         help="event streams: bandwidth of the WAN link between replica sites, in "
         "megabytes (not megabits) per simulated second",
+    )
+    parser.add_argument(
+        "--churn-rate", type=float, default=0.0, dest="churn_rate",
+        help="fault injection: probability a given cluster drops out of a given "
+        "round (seeded, deterministic; default 0 = no churn)",
+    )
+    parser.add_argument(
+        "--replica-outages", type=int, default=0, dest="replica_outages",
+        help="fault injection (event streams): storage-replica outage episodes, "
+        "dealt round-robin over the replicas at seeded start times",
+    )
+    parser.add_argument(
+        "--outage-duration", type=float, default=60.0, dest="outage_duration",
+        help="fault injection: simulated seconds one replica outage lasts before "
+        "its scheduled recovery",
+    )
+    parser.add_argument(
+        "--wan-partitions", type=int, default=0, dest="wan_partitions",
+        help="fault injection (event streams): pairwise WAN partition episodes "
+        "between replica sites (needs --storage-replicas >= 2)",
+    )
+    parser.add_argument(
+        "--partition-duration", type=float, default=60.0, dest="partition_duration",
+        help="fault injection: simulated seconds one WAN partition lasts before healing",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, dest="fault_seed",
+        help="seed of the fault plan's random streams (default: the experiment seed)",
+    )
+    parser.add_argument(
+        "--retry-max", type=int, default=3, dest="retry_max",
+        help="resilience: failed transfer attempts retried with backoff before "
+        "failing over to another replica (0 disables retries AND failover — "
+        "transfers wait out faults on the link schedule)",
+    )
+    parser.add_argument(
+        "--backoff-base", type=float, default=0.5, dest="backoff_base",
+        help="resilience: first backoff wait in simulated seconds (attempt n "
+        "waits backoff-base * 2**n, plus jitter)",
+    )
+    parser.add_argument(
+        "--backoff-jitter", type=float, default=0.1, dest="backoff_jitter",
+        help="resilience: uniform jitter fraction applied to each backoff wait "
+        "(deterministic, seeded)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3, dest="breaker_threshold",
+        help="resilience: consecutive failures that trip a replica's circuit "
+        "breaker open",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=60.0, dest="breaker_cooldown",
+        help="resilience: simulated seconds an open breaker fails fast before "
+        "admitting one half-open trial",
     )
 
 

@@ -54,6 +54,7 @@ from repro.ml.models import Model
 from repro.ml.serialization import weights_from_bytes, weights_to_bytes
 from repro.sched.actors import CommFabric
 from repro.simnet.clock import SimClock
+from repro.simnet.faults import FaultPlan
 from repro.simnet.resources import ResourceMonitor
 
 Weights = List[np.ndarray]
@@ -104,6 +105,7 @@ class UnifyFLAggregator:
         resource_monitor: Optional[ResourceMonitor] = None,
         comm: Optional["CommFabric"] = None,
         seed: int = 0,
+        faults: Optional["FaultPlan"] = None,
     ):
         if not clients:
             raise ValueError("an aggregator needs at least one client")
@@ -130,6 +132,9 @@ class UnifyFLAggregator:
         #: the shared event-stream communication fabric, or ``None`` for the
         #: constant-cost timing path (the default).
         self.comm = comm
+        #: the run's fault plan; churn draws come from it (``None`` when the
+        #: experiment injects no faults).
+        self.faults = faults
         self.clock = SimClock()
         self._rng = np.random.default_rng(seed)
 
@@ -158,16 +163,29 @@ class UnifyFLAggregator:
         if mine:
             self.chain.mine_until_empty()
 
-    def is_available(self) -> bool:
+    def is_available(self, round_number: Optional[int] = None) -> bool:
         """Draw whether the organisation is up for the coming round.
 
         Used by the orchestrators for fault injection: with
         ``config.availability < 1`` the organisation occasionally sits a whole
-        round out (no training, no submission, no scoring).
+        round out (no training, no submission, no scoring).  When the run
+        carries a :class:`~repro.simnet.faults.FaultPlan`, its seeded churn
+        draw for ``(cluster, round_number)`` is consulted first — a churned
+        round is offline regardless of the availability draw, and the drop
+        is accounted in the plan.  The legacy availability stream is only
+        advanced when it exists (``availability < 1``), so enabling churn
+        does not perturb availability-driven runs and vice versa.
         """
-        if self.config.availability >= 1.0:
-            return True
-        return bool(self._rng.random() < self.config.availability)
+        available = True
+        if self.config.availability < 1.0:
+            available = bool(self._rng.random() < self.config.availability)
+        if (
+            self.faults is not None
+            and round_number is not None
+            and self.faults.cluster_offline(self.name, round_number)
+        ):
+            return False
+        return available
 
     # ------------------------------------------------------------- global model
     def pull_candidates(

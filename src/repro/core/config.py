@@ -256,6 +256,41 @@ class ExperimentConfig:
     #: event streams only: bandwidth of the WAN link between two replica
     #: sites, in megabytes per simulated second.
     wan_bandwidth_mbytes_per_s: float = 50.0
+    #: fault injection: probability that a given cluster drops out of a
+    #: given round entirely (seeded, deterministic per ``(cluster, round)``;
+    #: on top of any per-cluster ``availability`` draw).  0 disables churn.
+    churn_rate: float = 0.0
+    #: fault injection, event streams only: number of storage-replica outage
+    #: episodes (dealt round-robin over the replicas, each starting at a
+    #: seeded point in the run and recovering after ``outage_duration_s``).
+    replica_outages: int = 0
+    #: simulated seconds one replica outage lasts before scheduled recovery.
+    outage_duration_s: float = 60.0
+    #: fault injection, event streams only: number of pairwise WAN partition
+    #: episodes between replica sites (needs ``storage_replicas >= 2``).
+    wan_partitions: int = 0
+    #: simulated seconds one WAN partition lasts before healing.
+    partition_duration_s: float = 60.0
+    #: seed of the fault plan's random streams (churn draws, outage and
+    #: partition start times); ``None`` reuses the experiment ``seed``.
+    fault_seed: Optional[int] = None
+    #: resilience: failed transfer attempts retried (with exponential
+    #: backoff) before failing over to another replica.  0 switches the
+    #: resilience layer off entirely — transfers wait out faults on the
+    #: link schedule instead of retrying or failing over.
+    retry_max: int = 3
+    #: resilience: first backoff wait in simulated seconds (attempt *n*
+    #: waits ``backoff_base_s * 2**n``, plus jitter).
+    backoff_base_s: float = 0.5
+    #: resilience: uniform jitter fraction applied to each backoff wait
+    #: (deterministic, seeded).
+    backoff_jitter: float = 0.1
+    #: resilience: consecutive failures that trip a replica's circuit
+    #: breaker from closed to open.
+    breaker_threshold: int = 3
+    #: resilience: simulated seconds an open breaker fails fast before
+    #: admitting one half-open trial.
+    breaker_cooldown_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.partitioning not in ("iid", "dirichlet", "shard"):
@@ -304,6 +339,33 @@ class ExperimentConfig:
             raise ValueError("wan_latency_s must be non-negative")
         if self.wan_bandwidth_mbytes_per_s <= 0:
             raise ValueError("wan_bandwidth_mbytes_per_s must be positive")
+        if not 0.0 <= self.churn_rate < 1.0:
+            raise ValueError("churn_rate must be in [0, 1)")
+        if self.replica_outages < 0:
+            raise ValueError("replica_outages must be non-negative")
+        if self.outage_duration_s <= 0:
+            raise ValueError("outage_duration_s must be positive")
+        if self.wan_partitions < 0:
+            raise ValueError("wan_partitions must be non-negative")
+        if self.partition_duration_s <= 0:
+            raise ValueError("partition_duration_s must be positive")
+        if self.replica_outages > 0 and not self.event_streams:
+            raise ValueError("replica outages need event_streams=True (link-level faults)")
+        if self.wan_partitions > 0:
+            if not self.event_streams:
+                raise ValueError("WAN partitions need event_streams=True (link-level faults)")
+            if self.storage_replicas < 2:
+                raise ValueError("WAN partitions need at least two storage replicas")
+        if self.retry_max < 0:
+            raise ValueError("retry_max must be non-negative")
+        if self.backoff_base_s <= 0:
+            raise ValueError("backoff_base_s must be positive")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
         # Mode validation is registry-driven: an unknown mode fails here,
         # at construction, with the list of registered names — and each
         # mode's own validate hook rejects configurations it cannot run
@@ -313,6 +375,11 @@ class ExperimentConfig:
     @property
     def num_clusters(self) -> int:
         return len(self.clusters)
+
+    @property
+    def has_faults(self) -> bool:
+        """True when this configuration injects any faults at all."""
+        return self.churn_rate > 0 or self.replica_outages > 0 or self.wan_partitions > 0
 
 
 def gpu_cluster_configs(

@@ -144,6 +144,12 @@ _CSV_COLUMNS = [
     "exchange_time_s",
     "exchange_count",
     "wan_bytes",
+    # Fault-injection / resilience accounting (zeros on fault-free event-stream
+    # runs, empty without a fabric unless churn ran on the constant path).
+    "retries",
+    "breaker_open_s",
+    "failovers",
+    "dropped_clients",
 ]
 
 
@@ -156,17 +162,24 @@ def save_results_csv(results: Iterable[ExperimentResult], path: PathLike) -> Pat
         writer.writeheader()
         for result in results:
             comm = result.comm_metrics
+            # Churn on the constant-cost path exports drop accounting without
+            # any stream totals; keep the stream columns empty there.
+            streams = "network_queued" in comm
             for aggregator in result.aggregators:
                 writer.writerow(
                     {
-                        "network_queued_s": f"{comm['network_queued']:.3f}" if comm else "",
-                        "chain_wait_s": f"{comm['chain_wait']:.3f}" if comm else "",
-                        "replication_time_s": f"{comm.get('replication_time', 0.0):.3f}" if comm else "",
-                        "replication_queued_s": f"{comm.get('replication_queued', 0.0):.3f}" if comm else "",
-                        "replication_count": f"{comm.get('replication_count', 0.0):.0f}" if comm else "",
-                        "exchange_time_s": f"{comm.get('exchange_time', 0.0):.3f}" if comm else "",
-                        "exchange_count": f"{comm.get('exchange_count', 0.0):.0f}" if comm else "",
-                        "wan_bytes": f"{comm.get('wan_bytes', 0.0):.0f}" if comm else "",
+                        "network_queued_s": f"{comm['network_queued']:.3f}" if streams else "",
+                        "chain_wait_s": f"{comm['chain_wait']:.3f}" if streams else "",
+                        "replication_time_s": f"{comm.get('replication_time', 0.0):.3f}" if streams else "",
+                        "replication_queued_s": f"{comm.get('replication_queued', 0.0):.3f}" if streams else "",
+                        "replication_count": f"{comm.get('replication_count', 0.0):.0f}" if streams else "",
+                        "exchange_time_s": f"{comm.get('exchange_time', 0.0):.3f}" if streams else "",
+                        "exchange_count": f"{comm.get('exchange_count', 0.0):.0f}" if streams else "",
+                        "wan_bytes": f"{comm.get('wan_bytes', 0.0):.0f}" if streams else "",
+                        "retries": f"{comm.get('retries', 0.0):.0f}" if comm else "",
+                        "breaker_open_s": f"{comm.get('breaker_open_s', 0.0):.3f}" if comm else "",
+                        "failovers": f"{comm.get('failovers', 0.0):.0f}" if comm else "",
+                        "dropped_clients": f"{comm.get('dropped_clients', 0.0):.0f}" if comm else "",
                         "experiment": result.name,
                         "mode": result.mode,
                         "partitioning": result.partitioning,

@@ -174,6 +174,23 @@ def format_comm_table(result: ExperimentResult) -> str:
     lines.append(f"blocks spanned: {metrics.get('chain_blocks_spanned', 0.0):.0f}")
     if metrics.get("wan_bytes"):
         lines.append(f"WAN bytes moved: {metrics['wan_bytes']:.0f}")
+    fault_keys = (
+        "dropped_clients",
+        "retries",
+        "failovers",
+        "breaker_trips",
+        "fault_outage_s",
+        "fault_partition_s",
+    )
+    if any(metrics.get(key) for key in fault_keys):
+        lines.append(
+            f"faults: {metrics.get('dropped_clients', 0.0):.0f} dropped client-rounds, "
+            f"{metrics.get('retries', 0.0):.0f} retries "
+            f"({metrics.get('backoff_wait_s', 0.0):.1f}s backoff), "
+            f"{metrics.get('failovers', 0.0):.0f} failovers, "
+            f"{metrics.get('breaker_trips', 0.0):.0f} breaker trips "
+            f"({metrics.get('breaker_open_s', 0.0):.0f}s open)"
+        )
     return "\n".join(lines)
 
 

@@ -49,6 +49,7 @@ from repro.ipfs.swarm import IPFSSwarm
 from repro.ml.models import Model, build_model
 from repro.sched.actors import STORAGE_ENDPOINT, ChainActor, CommFabric, NetworkActor
 from repro.sched.registry import PolicyBuildContext, get_policy
+from repro.simnet.faults import FaultPlan, ResiliencePolicy
 from repro.simnet.network import NetworkLink, Topology
 from repro.simnet.resources import ResourceMonitor
 
@@ -86,6 +87,9 @@ class ExperimentRunner:
         self._driver_account: Optional[Account] = None
         #: shared network/chain event-stream fabric (``event_streams=True`` only).
         self.comm: Optional[CommFabric] = None
+        #: the run's deterministic fault schedule (``None`` unless the
+        #: configuration injects churn, outages or partitions).
+        self.fault_plan: Optional[FaultPlan] = None
 
     # ------------------------------------------------------------------- data
     @staticmethod
@@ -177,6 +181,33 @@ class ExperimentRunner:
             )
         return clients
 
+    def _replica_names(self) -> List[str]:
+        """The storage replica endpoint names the event-stream layout declares."""
+        if self.config.storage_replicas == 1:
+            return [STORAGE_ENDPOINT]
+        return [f"{STORAGE_ENDPOINT}-{i}" for i in range(self.config.storage_replicas)]
+
+    def _build_fault_plan(self) -> Optional[FaultPlan]:
+        """Generate the run's fault schedule, or ``None`` with faults disabled.
+
+        A disabled configuration (the default) builds no plan at all, so the
+        fault branches in scheduler/actor/aggregator never execute — the
+        strongest possible bit-identity guarantee.  Outage and partition
+        start times are drawn within an a-priori makespan estimate (rounds ×
+        expected training + scoring windows) so they land while traffic is
+        actually flowing.
+        """
+        config = self.config
+        if not config.has_faults:
+            return None
+        horizon = config.rounds * (
+            self.timing_model.expected_training_window(config.clusters)
+            + self.timing_model.expected_scoring_window(
+                config.clusters, config.scoring_algorithm
+            )
+        )
+        return FaultPlan.from_config(config, self._replica_names(), horizon)
+
     def _build_comm_fabric(self) -> Optional[CommFabric]:
         """Stand up the event-stream fabric when the experiment asks for one.
 
@@ -209,10 +240,7 @@ class ExperimentRunner:
             )
         )
         num_replicas = config.storage_replicas
-        if num_replicas == 1:
-            replica_names = [STORAGE_ENDPOINT]
-        else:
-            replica_names = [f"{STORAGE_ENDPOINT}-{i}" for i in range(num_replicas)]
+        replica_names = self._replica_names()
         for name in replica_names:
             topology.add_replica(name, capacity=config.replica_capacity)
         for i, cluster in enumerate(config.clusters):
@@ -233,6 +261,15 @@ class ExperimentRunner:
             model_bytes=self.timing_model.nominal_model_bytes,
             selection=config.replica_selection,
             replication_mode=config.replication_mode,
+            faults=self.fault_plan,
+            resilience=ResiliencePolicy(
+                retry_max=config.retry_max,
+                backoff_base_s=config.backoff_base_s,
+                backoff_jitter=config.backoff_jitter,
+                breaker_threshold=config.breaker_threshold,
+                breaker_cooldown_s=config.breaker_cooldown_s,
+            ),
+            resilience_seed=config.seed,
         )
         # ``is not None`` rather than truthiness: an explicit block_interval of
         # 0 is rejected by config validation, but the same falsy-zero trap bit
@@ -262,6 +299,7 @@ class ExperimentRunner:
             UnifyFLContract(mode=self.config.mode, scorer_seed=self.config.seed)
         )
         self.swarm = IPFSSwarm()
+        self.fault_plan = self._build_fault_plan()
         self.comm = self._build_comm_fabric()
         if self.comm is not None:
             # Chain-side emission hook: every sealed block feeds the chain
@@ -293,6 +331,7 @@ class ExperimentRunner:
                 resource_monitor=self.monitor,
                 comm=self.comm,
                 seed=self.config.seed + i,
+                faults=self.fault_plan,
             )
             self.aggregators.append(aggregator)
 
@@ -385,6 +424,11 @@ class ExperimentRunner:
             "transfer_count": float(len(self.swarm.transfers)),
         }
         resource_reports = self.monitor.full_report() if self.monitor and len(self.monitor) else {}
+        comm_metrics = self.comm.summary() if self.comm is not None else {}
+        if self.fault_plan is not None and self.comm is None:
+            # Constant-cost path with churn enabled: no fabric exists, but the
+            # drop accounting still belongs in the exported metrics.
+            comm_metrics["dropped_clients"] = float(self.fault_plan.dropped_clients)
         return ExperimentResult(
             name=self.config.name,
             mode=self.config.mode,
@@ -396,7 +440,7 @@ class ExperimentRunner:
             storage_metrics=storage_metrics,
             resource_reports=resource_reports,
             orchestration_extras=dict(orchestration.extras),
-            comm_metrics=self.comm.summary() if self.comm is not None else {},
+            comm_metrics=comm_metrics,
         )
 
     def _policy_label(self, cluster: ClusterConfig) -> str:

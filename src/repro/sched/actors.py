@@ -44,7 +44,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.chain.clique import TX_VALIDATION_COST_S as TX_COST_S
+from repro.simnet.faults import CircuitBreaker, FaultPlan, ResiliencePolicy
 from repro.simnet.network import LinkScheduler, NetworkModel, ScheduledTransfer, Topology
 from repro.simnet.replication import REPLICATION_MODES, ReplicaDirectory
 
@@ -122,6 +125,18 @@ class NetworkActor:
             origin→replica fetch the downloader waits behind) or ``"none"``
             (downloads are pinned to the origin replica).  Irrelevant with a
             single replica, where all three modes are bit-identical.
+        faults: a :class:`~repro.simnet.faults.FaultPlan` whose replica
+            outage and WAN partition windows are injected into the link
+            scheduler at construction; at request time the actor additionally
+            fails fast on faulted paths and applies the resilience layer.
+            ``None`` (or a zero plan) leaves every code path bit-identical
+            to the fault-free actor.
+        resilience: retry/backoff + circuit-breaker knobs
+            (:class:`~repro.simnet.faults.ResiliencePolicy`); only consulted
+            when a live fault plan is present.  ``retry_max = 0`` disables
+            the layer even under faults — transfers then wait out outages on
+            the link schedule (the degraded baseline).
+        resilience_seed: seeds the deterministic backoff-jitter stream.
     """
 
     def __init__(
@@ -131,6 +146,9 @@ class NetworkActor:
         topology: Optional[Topology] = None,
         selection: str = "affinity",
         replication_mode: str = "eager",
+        faults: Optional[FaultPlan] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        resilience_seed: int = 0,
     ):
         if model_bytes <= 0:
             raise ValueError("model_bytes must be positive")
@@ -161,6 +179,166 @@ class NetworkActor:
         #: rather than zipped against ``scheduler.log`` so direct commits on
         #: the public scheduler cannot shift the labelling.
         self._events: List[Tuple[ScheduledTransfer, str]] = []
+        #: live fault plan (``None`` when the plan is zero — one check
+        #: guards every fault branch, keeping the happy path untouched).
+        self.faults = faults if faults is not None and not faults.is_zero else None
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        #: resilience accounting, all zero on the happy path.
+        self.retries = 0
+        self.failovers = 0
+        self.fast_fails = 0
+        self.backoff_wait_s = 0.0
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._jitter_rng = None
+        if self.faults is not None:
+            self._jitter_rng = np.random.default_rng([int(resilience_seed), 0xBF])
+            self._install_fault_windows()
+
+    def _install_fault_windows(self) -> None:
+        """Inject the plan's outage/partition windows into the link scheduler.
+
+        Replica downtime blocks every transfer touching the replica; sites
+        are registered so each cluster endpoint resolves to its home replica
+        for partition lookups, and each partitioned site pair's windows
+        block cross-site placements.  Done once at construction, before any
+        traffic is scheduled.
+        """
+        assert self.faults is not None
+        for replica in self.replicas:
+            windows = self.faults.replica_windows(replica)
+            if windows:
+                self.scheduler.set_outages(replica, windows)
+        if self.topology is not None:
+            for cluster in self.topology.clusters:
+                self.scheduler.set_site(cluster, self.topology.home_replica(cluster))
+        for i, site_a in enumerate(self.replicas):
+            for site_b in self.replicas[i + 1 :]:
+                windows = self.faults.partition_windows(site_a, site_b)
+                if windows:
+                    self.scheduler.set_partition(site_a, site_b, windows)
+
+    # ------------------------------------------------------------- resilience
+    def _breaker(self, replica: str) -> CircuitBreaker:
+        """The lazily-created circuit breaker guarding one replica."""
+        breaker = self._breakers.get(replica)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.resilience.breaker_threshold, self.resilience.breaker_cooldown_s
+            )
+            self._breakers[replica] = breaker
+        return breaker
+
+    def _path_ok(self, endpoint: str, replica: str, at: float) -> bool:
+        """Is ``replica`` reachable from ``endpoint`` at time ``at``?
+
+        False while the replica is inside an outage window or the WAN
+        between the endpoint's site and the replica's site is partitioned.
+        """
+        assert self.faults is not None
+        if self.faults.replica_down(replica, at):
+            return False
+        site = self._endpoint_site(endpoint)
+        if site is not None and site != replica and self.faults.partitioned(site, replica, at):
+            return False
+        return True
+
+    def _failover_replica(
+        self,
+        endpoint: str,
+        at: float,
+        object_id: Optional[str],
+        phase: str,
+        exclude: str,
+    ) -> Optional[str]:
+        """Next-best reachable replica under the least-loaded completion ranking.
+
+        Candidates must be up, unpartitioned from the caller's site and have
+        a breaker willing to admit traffic; among those the deterministic
+        least-loaded estimate (backlog per capacity slot + path wire time,
+        availability lag for ledger-known downloads, declaration order as
+        the tie-break) picks the winner.  ``None`` when no replica
+        qualifies — or when the download is pinned to its origin
+        (``replication_mode="none"``), where serving a copy that never
+        propagated would violate the ledger.
+        """
+        if len(self.replicas) == 1:
+            return None
+        downloading = phase == "download" and self.directory.known(object_id)
+        if downloading and self.replication_mode == "none":
+            return None
+        best: Optional[Tuple[float, int]] = None
+        chosen: Optional[str] = None
+        for index, replica in enumerate(self.replicas):
+            if replica == exclude:
+                continue
+            if not self._path_ok(endpoint, replica, at):
+                continue
+            if not self._breaker(replica).would_allow(at):
+                continue
+            backlog = self.scheduler.outstanding_backlog(replica, at)
+            wire = self.scheduler.network.transfer_time(endpoint, replica, self.model_bytes)
+            cost = backlog / self.scheduler.capacity(replica) + wire
+            if downloading:
+                cost += self._availability_lag(object_id, replica, at)
+            key = (cost, index)
+            if best is None or key < best:
+                best = key
+                chosen = replica
+        return chosen
+
+    def _resolve_replica(
+        self, endpoint: str, at: float, object_id: Optional[str], phase: str
+    ) -> Tuple[str, float]:
+        """Pick the replica a transfer will actually use, resiliently.
+
+        Returns ``(replica, earliest_start)``.  Without a live fault plan
+        (or with ``retry_max = 0``) this is exactly :meth:`select_replica`
+        at ``at`` — bit-identical to the pre-fault actor.  Otherwise the
+        primary choice is probed through its circuit breaker: a faulted
+        path burns retries with exponential backoff + deterministic jitter
+        (each wait surfaces as queued time on the eventual transfer), a
+        tripped or already-open breaker fails fast, and exhaustion falls
+        over to the next-best reachable replica.  When *no* replica is
+        reachable the caller degrades gracefully: the transfer targets the
+        primary no earlier than its scheduled recovery.
+        """
+        replica = self.select_replica(endpoint, at, object_id, phase=phase)
+        faults = self.faults
+        if faults is None:
+            return replica, at
+        policy = self.resilience
+        if policy.retry_max == 0:
+            # Resilience off: the link schedule's outage windows still hold,
+            # so the transfer simply waits out the fault where it is.
+            return replica, at
+        breaker = self._breaker(replica)
+        cursor = at
+        if breaker.allow(cursor):
+            if self._path_ok(endpoint, replica, cursor):
+                breaker.record_success(cursor)
+                return replica, cursor
+            attempt = 0
+            while attempt < policy.retry_max:
+                breaker.record_failure(cursor)
+                if breaker.state == CircuitBreaker.OPEN:
+                    self.fast_fails += 1
+                    break
+                assert self._jitter_rng is not None
+                wait = policy.backoff(attempt, float(self._jitter_rng.random()))
+                cursor += wait
+                self.backoff_wait_s += wait
+                self.retries += 1
+                attempt += 1
+                if self._path_ok(endpoint, replica, cursor):
+                    breaker.record_success(cursor)
+                    return replica, cursor
+        else:
+            self.fast_fails += 1
+        alternate = self._failover_replica(endpoint, cursor, object_id, phase, exclude=replica)
+        if alternate is not None:
+            self.failovers += 1
+            return alternate, cursor
+        return replica, max(cursor, faults.recovery_time(replica, cursor))
 
     # -------------------------------------------------------- replica selection
     def select_replica(
@@ -263,8 +441,10 @@ class NetworkActor:
             return 0.0
         cursor = at
         for object_id in self._object_sequence(object_ids, num_models):
-            replica = self.select_replica(endpoint, cursor, object_id, phase="upload")
-            scheduled = self.scheduler.transfer(endpoint, replica, self.model_bytes, cursor)
+            replica, ready = self._resolve_replica(endpoint, cursor, object_id, phase="upload")
+            scheduled = self.scheduler.transfer(
+                endpoint, replica, self.model_bytes, cursor, earliest_start=ready
+            )
             self._record(scheduled, "upload")
             cursor = scheduled.finished_at
             if object_id is not None and len(self.replicas) > 1:
@@ -297,10 +477,10 @@ class NetworkActor:
             return 0.0
         cursor = at
         for object_id in self._object_sequence(object_ids, num_models):
-            replica = self.select_replica(endpoint, cursor, object_id, phase="download")
-            ready = self._ensure_available(object_id, replica, cursor, commit=True)
+            replica, ready = self._resolve_replica(endpoint, cursor, object_id, phase="download")
+            available = self._ensure_available(object_id, replica, cursor, commit=True)
             scheduled = self.scheduler.transfer(
-                replica, endpoint, self.model_bytes, cursor, earliest_start=ready
+                replica, endpoint, self.model_bytes, cursor, earliest_start=max(ready, available)
             )
             self._record(scheduled, phase)
             cursor = scheduled.finished_at
@@ -475,6 +655,30 @@ class NetworkActor:
             bucket["queued"] += transfer.queued_time
             bucket["count"] += 1.0
         return totals
+
+    def resilience_totals(self) -> Dict[str, float]:
+        """Fault/resilience accounting, always present (zeros on the happy path).
+
+        ``retries`` / ``backoff_wait_s`` count the backoff attempts burned on
+        faulted paths, ``failovers`` the transfers re-aimed at an alternate
+        replica, ``breaker_trips`` / ``breaker_open_s`` /
+        ``breaker_fast_fails`` the circuit-breaker activity (open seconds are
+        each trip's guaranteed cooldown window), ``dropped_clients`` the
+        distinct ``(cluster, round)`` churn drops the plan injected, and
+        ``fault_outage_s`` / ``fault_partition_s`` the injected downtime
+        itself.
+        """
+        return {
+            "retries": float(self.retries),
+            "backoff_wait_s": self.backoff_wait_s,
+            "failovers": float(self.failovers),
+            "breaker_trips": float(sum(b.trips for b in self._breakers.values())),
+            "breaker_open_s": float(sum(b.open_seconds for b in self._breakers.values())),
+            "breaker_fast_fails": float(self.fast_fails),
+            "dropped_clients": float(self.faults.dropped_clients) if self.faults else 0.0,
+            "fault_outage_s": self.faults.outage_seconds if self.faults else 0.0,
+            "fault_partition_s": self.faults.partition_seconds if self.faults else 0.0,
+        }
 
     def replication_totals(self) -> Dict[str, Dict[str, float]]:
         """Per-replica propagation ``{"time", "queued", "count"}``, by receiving site.
@@ -692,7 +896,12 @@ class CommFabric:
         ``_queued`` / ``_count`` per storage replica plus
         ``replica_<name>_replication_*`` propagation totals per receiving
         site, ``chain_wait_<kind>`` and ``chain_ops_<kind>`` per interaction
-        kind, plus totals.
+        kind, plus totals.  The fault/resilience keys (``retries``,
+        ``backoff_wait_s``, ``failovers``, ``breaker_trips``,
+        ``breaker_open_s``, ``breaker_fast_fails``, ``dropped_clients``,
+        ``fault_outage_s``, ``fault_partition_s``) are always exported —
+        zeros on the happy path — so the schema is stable with and without
+        injected faults.
         """
         out: Dict[str, float] = {}
         for phase, bucket in sorted(self.network.phase_totals().items()):
@@ -719,4 +928,5 @@ class CommFabric:
         out["chain_blocks_spanned"] = float(self.chain.blocks_spanned)
         out["chain_blocks_observed"] = float(self.chain.blocks_observed)
         out["chain_transactions_observed"] = float(self.chain.transactions_observed)
+        out.update(self.network.resilience_totals())
         return out

@@ -143,7 +143,7 @@ class RoundPolicy:
         from repro.core.timing import RoundTiming
 
         now = aggregator.clock.now()
-        if not aggregator.is_available():
+        if not aggregator.is_available(round_number):
             downtime = self.ctx.timing.client_training_time(aggregator.config, jitter=False)
             aggregator.clock.advance(downtime)
             aggregator.record_round(round_number, RoundTiming(idle_time=downtime), offline=True)
@@ -232,8 +232,9 @@ class SyncRoundPolicy(RoundPolicy):
             # round's books (zero in constant-cost mode, where clusters are
             # already aligned when a round begins).
             timing = RoundTiming(idle_time=barrier_waits[aggregator.name])
-            # Fault injection: an unavailable organisation sits the round out.
-            if not aggregator.is_available():
+            # Fault injection: an unavailable organisation (availability draw
+            # or fault-plan churn) sits the round out.
+            if not aggregator.is_available(round_number):
                 self._offline[aggregator.name] = True
                 self._straggled[aggregator.name] = False
                 self._round_timings[aggregator.name] = timing
@@ -722,7 +723,7 @@ class HierarchicalRoundPolicy(RoundPolicy):
             self.ctx.add_idle(aggregator.name, waited)
             self.tier_totals["global_idle_time"] += waited
             timings[aggregator.name] = RoundTiming(idle_time=waited)
-            available[aggregator.name] = aggregator.is_available()
+            available[aggregator.name] = aggregator.is_available(global_round)
             aggregator._pulled_this_round = 0
 
         # Serve the scoring the previous round's leader submissions assigned.
@@ -950,7 +951,7 @@ class GossipRoundPolicy(RoundPolicy):
         self.rounds_done[aggregator.name] = round_number
         done = round_number >= self.ctx.num_rounds
 
-        if not aggregator.is_available():
+        if not aggregator.is_available(round_number):
             downtime = self.ctx.timing.client_training_time(aggregator.config, jitter=False)
             aggregator.clock.advance(downtime)
             aggregator.record_round(round_number, RoundTiming(idle_time=downtime), offline=True)

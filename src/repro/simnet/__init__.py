@@ -21,6 +21,12 @@ containers).  This package provides the simulated equivalent:
   uploaded artifact becomes present at each storage replica, so replication
   traffic is scheduled and downloads are availability-gated instead of every
   site holding every object for free.
+* :mod:`repro.simnet.faults` — the deterministic fault-injection plan
+  (:class:`~repro.simnet.faults.FaultPlan`: client churn, replica outages
+  with scheduled recovery, pairwise WAN partitions) plus the resilience
+  primitives (:class:`~repro.simnet.faults.ResiliencePolicy`,
+  :class:`~repro.simnet.faults.CircuitBreaker`) the event-stream fabric
+  layers on top of it.
 * :mod:`repro.simnet.resources` — CPU / memory usage accounting producing the
   paper's Table 7 system-overhead metrics.
 """
@@ -35,6 +41,13 @@ from repro.simnet.hardware import (
     RASPBERRY_PI_400,
     HardwareProfile,
     profile_by_name,
+)
+from repro.simnet.faults import (
+    CircuitBreaker,
+    FaultPlan,
+    ReplicaOutage,
+    ResiliencePolicy,
+    WanPartition,
 )
 from repro.simnet.network import (
     LinkScheduler,
@@ -58,6 +71,11 @@ __all__ = [
     "RASPBERRY_PI_400",
     "HardwareProfile",
     "profile_by_name",
+    "CircuitBreaker",
+    "FaultPlan",
+    "ReplicaOutage",
+    "ResiliencePolicy",
+    "WanPartition",
     "LinkScheduler",
     "ReferenceLinkScheduler",
     "NetworkLink",

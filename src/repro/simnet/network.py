@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
+from .faults import merge_windows
+
 
 @dataclass(frozen=True)
 class NetworkLink:
@@ -217,8 +219,88 @@ class LinkScheduler:
         #: placement memo for the current epoch, keyed by
         #: ``(source, destination, num_bytes, at, floor)``.
         self._plan_cache: Dict[Tuple[str, str, int, float, float], ScheduledTransfer] = {}
+        #: fault-injected downtime windows per endpoint (merged, sorted);
+        #: empty dict on the happy path so planning never pays for faults.
+        self._outages: Dict[str, List[Tuple[float, float]]] = {}
+        #: endpoint -> site label for partition lookups (an endpoint with no
+        #: registered site is its own site).
+        self._sites: Dict[str, str] = {}
+        #: severed-WAN windows per unordered site pair (merged, sorted).
+        self._partitions: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
         for endpoint, capacity in (capacities or {}).items():
             self.set_capacity(endpoint, capacity)
+
+    def set_outages(self, endpoint: str, windows: List[Tuple[float, float]]) -> None:
+        """Declare downtime windows for ``endpoint``.
+
+        No transfer touching the endpoint is placed overlapping one of these
+        windows — traffic aimed at a down endpoint waits for its scheduled
+        recovery.  Affects future placements only, so declare outages before
+        scheduling traffic (the fault plan does this at fabric build time).
+        An empty list clears the endpoint's outages.
+        """
+        merged = merge_windows(windows)
+        if merged:
+            self._outages[endpoint] = merged
+        else:
+            self._outages.pop(endpoint, None)
+        self._plan_cache.clear()
+        self.epoch += 1
+
+    def set_site(self, endpoint: str, site: str) -> None:
+        """Map ``endpoint`` onto a site label for partition lookups."""
+        self._sites[endpoint] = site
+        self._plan_cache.clear()
+        self.epoch += 1
+
+    def set_partition(self, site_a: str, site_b: str, windows: List[Tuple[float, float]]) -> None:
+        """Declare severed-WAN windows between two sites (order-insensitive).
+
+        Transfers whose endpoints resolve to the two sites cannot be placed
+        inside a window; same-site traffic is unaffected.  An empty list
+        clears the pair's partitions.
+        """
+        if site_a == site_b:
+            raise ValueError("a partition separates two distinct sites")
+        key = (site_a, site_b) if site_a < site_b else (site_b, site_a)
+        merged = merge_windows(windows)
+        if merged:
+            self._partitions[key] = merged
+        else:
+            self._partitions.pop(key, None)
+        self._plan_cache.clear()
+        self.epoch += 1
+
+    def outage_windows(self, endpoint: str) -> List[Tuple[float, float]]:
+        """The declared downtime windows of one endpoint."""
+        return list(self._outages.get(endpoint, ()))
+
+    def _fault_windows(self, source: str, destination: str) -> Optional[List[Tuple[float, float]]]:
+        """Merged fault windows blocking the ``source -> destination`` path.
+
+        ``None`` when nothing applies — the planning code treats ``None``
+        exactly like the pre-fault scheduler, preserving bit-identity (and
+        the O(1) fast path) for runs without injected faults.
+        """
+        if not self._outages and not self._partitions:
+            return None
+        windows: List[Tuple[float, float]] = []
+        endpoints = (source,) if source == destination else (source, destination)
+        for endpoint in endpoints:
+            found = self._outages.get(endpoint)
+            if found:
+                windows.extend(found)
+        if self._partitions and source != destination:
+            site_a = self._sites.get(source, source)
+            site_b = self._sites.get(destination, destination)
+            if site_a != site_b:
+                key = (site_a, site_b) if site_a < site_b else (site_b, site_a)
+                found = self._partitions.get(key)
+                if found:
+                    windows.extend(found)
+        if not windows:
+            return None
+        return merge_windows(windows)
 
     def set_capacity(self, endpoint: str, capacity: int) -> None:
         """Let ``endpoint`` admit up to ``capacity`` overlapping reservations.
@@ -356,24 +438,39 @@ class LinkScheduler:
             return intervals[index][1]
         return None
 
-    def _earliest_start(self, endpoints: List[str], at: float, duration: float) -> float:
-        """First time ``>= at`` where every endpoint has a slot for ``duration``."""
+    def _earliest_start(
+        self,
+        endpoints: List[str],
+        at: float,
+        duration: float,
+        fault_windows: Optional[List[Tuple[float, float]]] = None,
+    ) -> float:
+        """First time ``>= at`` where every endpoint has a slot for ``duration``.
+
+        ``fault_windows`` are extra blocked intervals (outages/partitions on
+        the path); they disable the fast path because they can block a
+        request arbitrarily far past the committed timeline.
+        """
         # Fast path: a request at or past every committed reservation on
         # every endpoint cannot conflict with anything — it starts
         # immediately, no sweep and no bisect.  This is the common causal
         # case (simulated time mostly moves forward).
-        if all(at >= self._max_end.get(endpoint, 0.0) for endpoint in endpoints):
+        if fault_windows is None and all(
+            at >= self._max_end.get(endpoint, 0.0) for endpoint in endpoints
+        ):
             return at
-        blocked = {endpoint: self._saturated_intervals(endpoint) for endpoint in endpoints}
+        blocked = [self._saturated_intervals(endpoint) for endpoint in endpoints]
+        if fault_windows is not None:
+            blocked.append(fault_windows)
         start = at
         moved = True
         while moved:
             moved = False
-            for endpoint in endpoints:
-                conflict_end = self._conflict_end(blocked[endpoint], start, duration)
+            for intervals in blocked:
+                conflict_end = self._conflict_end(intervals, start, duration)
                 if conflict_end is not None:
                     # Overlaps a saturated region: jump past it and re-check
-                    # every endpoint from the new start.
+                    # every interval list from the new start.
                     start = conflict_end
                     moved = True
                     break
@@ -397,7 +494,9 @@ class LinkScheduler:
             return cached
         duration = self.network.transfer_time(source, destination, num_bytes)
         endpoints = [source] if source == destination else [source, destination]
-        start = self._earliest_start(endpoints, floor, duration)
+        start = self._earliest_start(
+            endpoints, floor, duration, self._fault_windows(source, destination)
+        )
         scheduled = ScheduledTransfer(
             source=source,
             destination=destination,

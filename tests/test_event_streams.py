@@ -748,3 +748,86 @@ class TestTopologyExperiments:
         assert first.comm_metrics == second.comm_metrics
         for a, b in zip(first.aggregators, second.aggregators):
             assert a.total_time == b.total_time
+
+
+# ----------------------------------------------------------- fault-free bit identity (PR 7)
+class TestFaultFreeBitIdentity:
+    """The fault-injection subsystem at defaults is a provable no-op.
+
+    Every mode, with event streams on and off, must produce bit-identical
+    results whether the fault/resilience knobs are left alone or spelled out
+    at their zero-rate defaults — the guard that adding the scenario engine
+    did not perturb a single pre-existing run.
+    """
+
+    ALL_MODES = ("sync", "async", "semi", "hierarchical", "gossip")
+
+    @pytest.mark.parametrize("event_streams", [True, False])
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_explicit_zero_fault_knobs_change_nothing(self, mode, event_streams):
+        baseline = ExperimentRunner(tiny_config(mode, event_streams)).run()
+        explicit = ExperimentRunner(
+            tiny_config(
+                mode,
+                event_streams,
+                churn_rate=0.0,
+                replica_outages=0,
+                wan_partitions=0,
+                retry_max=3,
+                backoff_base_s=0.5,
+                backoff_jitter=0.1,
+                breaker_threshold=3,
+                breaker_cooldown_s=60.0,
+            )
+        ).run()
+        assert baseline.comm_metrics == explicit.comm_metrics
+        for a, b in zip(baseline.aggregators, explicit.aggregators):
+            assert a.total_time == b.total_time
+            assert a.global_accuracy == b.global_accuracy
+            assert a.global_loss == b.global_loss
+            assert [r.sim_time for r in a.history] == [r.sim_time for r in b.history]
+
+    def test_zero_knob_configs_build_no_plan(self):
+        runner = ExperimentRunner(tiny_config("sync", True, churn_rate=0.0))
+        runner.build()
+        assert runner.fault_plan is None
+        assert runner.comm is not None
+        assert runner.comm.network.faults is None
+
+    def test_zero_rate_plan_object_is_a_noop_actor_side(self):
+        """Even an explicitly-passed zero FaultPlan leaves the transfer
+        stream byte-for-byte identical to faults=None."""
+        from repro.simnet.faults import FaultPlan
+
+        def drive(actor: NetworkActor) -> list:
+            actor.upload("a", 2, at=0.0)
+            actor.download("b", 1, at=0.5)
+            actor.upload("b", 1, at=0.6)
+            return [
+                (t.source, t.destination, t.started_at, t.finished_at)
+                for t, _ in actor._events
+            ]
+
+        plain = NetworkActor(make_network(), model_bytes=1_000_000)
+        zeroed = NetworkActor(
+            make_network(), model_bytes=1_000_000, faults=FaultPlan(seed=7)
+        )
+        assert zeroed.faults is None  # zero plans are discarded at the door
+        assert drive(plain) == drive(zeroed)
+        assert zeroed.retries == 0 and zeroed.failovers == 0
+
+    def test_fault_free_summary_exports_zeroed_resilience_keys(self):
+        result = ExperimentRunner(tiny_config("async", True)).run()
+        metrics = result.comm_metrics
+        for key in (
+            "retries",
+            "backoff_wait_s",
+            "failovers",
+            "breaker_trips",
+            "breaker_open_s",
+            "breaker_fast_fails",
+            "dropped_clients",
+            "fault_outage_s",
+            "fault_partition_s",
+        ):
+            assert metrics[key] == 0.0

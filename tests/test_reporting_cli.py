@@ -82,11 +82,14 @@ class TestCSVExport:
             "network_queued_s", "chain_wait_s",
             "replication_time_s", "replication_queued_s", "replication_count",
             "exchange_time_s", "exchange_count", "wan_bytes",
+            "retries", "breaker_open_s", "failovers", "dropped_clients",
         }
         assert set(rows[0]) == expected
         # Constant-cost runs leave the event-stream totals empty, not zero.
         assert rows[0]["network_queued_s"] == ""
         assert rows[0]["replication_count"] == ""
+        assert rows[0]["retries"] == ""
+        assert rows[0]["dropped_clients"] == ""
 
 
 class TestCLI:
