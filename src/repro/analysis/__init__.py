@@ -1,0 +1,61 @@
+"""Static analysis and runtime sanitising for the repo's core invariant.
+
+Everything this repository ships rests on one property: **a fixed seed
+produces bit-identical event logs, summaries and CSVs** across every
+federation mode.  Until now that invariant was guarded only after the fact,
+by bit-identity tests comparing whole result documents.  This package guards
+it at the *source*:
+
+* :mod:`repro.analysis.rules` / :mod:`repro.analysis.linter` — an AST-based
+  **determinism linter** (the ``repro lint`` CLI subcommand) with a rule
+  registry, per-rule codes (``DET001`` ... ``DET005``), inline
+  ``# detlint: ignore[RULE]`` suppressions and a checked-in baseline file
+  for the findings that are individually justified.
+* :mod:`repro.analysis.baseline` — the baseline file format: findings are
+  fingerprinted by ``(path, code, source line)`` so entries survive
+  unrelated line churn.
+* :mod:`repro.analysis.sanitizer` — a runtime **simulation sanitizer**
+  (``ExperimentConfig(sanitize=True)`` / ``repro run --sanitize``): strictly
+  read-only assertions hooked into the discrete-event kernel, the link
+  scheduler and the communication fabric — a race-detector analogue for the
+  discrete-event engine.  A sanitized run is bit-identical to an unsanitized
+  one; the sanitizer only ever *observes* and raises
+  :class:`~repro.analysis.sanitizer.SanitizerViolation` on the first broken
+  invariant.
+
+The linter rules:
+
+========  =====================================================================
+``DET001``  wall-clock / entropy APIs (``time.time``, ``datetime.now``,
+            ``os.urandom``, ``uuid.uuid4``, ...; the counter clocks are
+            allowed only in :mod:`repro.perf`)
+``DET002``  unseeded RNG construction and ambient global-RNG calls
+            (``random.Random()``, ``np.random.default_rng()``,
+            module-level ``random.*`` / ``np.random.*``)
+``DET003``  order-dependent aggregation: iteration or ``sum``/``min``/``max``
+            over ``set``/``frozenset`` values, ``sum`` over dict views
+``DET004``  mode-string comparisons outside the round-policy registry
+``DET005``  mutable default arguments
+========  =====================================================================
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, save_baseline
+from repro.analysis.linter import Finding, LintReport, lint_paths, lint_source
+from repro.analysis.rules import Rule, all_rules, get_rule, register_rule
+from repro.analysis.sanitizer import SanitizerViolation, SimulationSanitizer
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SanitizerViolation",
+    "SimulationSanitizer",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register_rule",
+    "save_baseline",
+]

@@ -1,0 +1,109 @@
+"""The checked-in baseline file for individually justified lint findings.
+
+A baseline entry records a finding's line-number-free fingerprint —
+``(path, code, stripped source line)`` — plus a mandatory human-readable
+justification.  Fingerprints survive unrelated line churn; editing the
+offending line itself invalidates the entry, which is exactly when the
+justification should be re-examined.
+
+The file is plain sorted JSON so diffs stay reviewable:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "path": "src/repro/ipfs/node.py",
+          "code": "DET003",
+          "snippet": "return sum(len(v) for v in self._wantlists.values())",
+          "note": "integer count; addition is order-exact"
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.analysis.linter import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of justified findings keyed by fingerprint."""
+
+    entries: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+
+    def contains(self, finding: Finding) -> bool:
+        fingerprint = finding.fingerprint()
+        if fingerprint in self.entries:
+            return True
+        # Baselines store repo-relative paths; linting the same tree through
+        # an absolute path (or from a parent directory) must still match, so
+        # fall back to a path-suffix comparison on a component boundary.
+        path, code, snippet = fingerprint
+        for entry_path, entry_code, entry_snippet in self.entries:
+            if (
+                entry_code == code
+                and entry_snippet == snippet
+                and path.endswith("/" + entry_path)
+            ):
+                return True
+        return False
+
+    def add(self, finding: Finding, note: str) -> None:
+        """Add one justified finding; the note is mandatory by construction."""
+        if not note.strip():
+            raise ValueError("a baseline entry requires a non-empty justification note")
+        self.entries[finding.fingerprint()] = note.strip()
+
+    def extend(self, findings: Iterable[Finding], note: str) -> None:
+        for finding in findings:
+            self.add(finding, note)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------- round trip
+    def to_document(self) -> dict:
+        """The JSON-ready dict form, entries sorted for stable diffs."""
+        entries: List[dict] = []
+        for (path, code, snippet), note in sorted(self.entries.items()):
+            entries.append({"path": path, "code": code, "snippet": snippet, "note": note})
+        return {"version": BASELINE_VERSION, "entries": entries}
+
+    @classmethod
+    def from_document(cls, document: dict) -> "Baseline":
+        version = document.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline version: {version!r}")
+        baseline = cls()
+        for entry in document.get("entries", []):
+            key = (entry["path"], entry["code"], entry["snippet"])
+            note = entry.get("note", "")
+            if not note.strip():
+                raise ValueError(f"baseline entry for {entry['path']} has no justification note")
+            baseline.entries[key] = note.strip()
+        return baseline
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return Baseline()
+    document = json.loads(file_path.read_text(encoding="utf-8"))
+    return Baseline.from_document(document)
+
+
+def save_baseline(baseline: Baseline, path: Union[str, Path]) -> None:
+    """Write the baseline as sorted, indented JSON with a trailing newline."""
+    document = baseline.to_document()
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")

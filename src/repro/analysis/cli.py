@@ -1,0 +1,152 @@
+"""The ``repro lint`` subcommand: run the determinism linter from the CLI.
+
+Kept in the analysis package so :mod:`repro.cli` only wires the subparser;
+the linter, the baseline handling and the exit-code contract all live next
+to the rules they expose.
+
+Exit codes: ``0`` clean (nothing beyond suppressions and the baseline),
+``1`` findings surfaced, ``2`` a file failed to parse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline, load_baseline, save_baseline
+from repro.analysis.linter import LintReport, lint_paths
+from repro.analysis.rules import all_rules
+
+DEFAULT_LINT_PATHS = ["src/repro"]
+DEFAULT_BASELINE = "detlint.baseline.json"
+
+
+def add_lint_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``lint`` subcommand on an existing subparser collection."""
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism linter (DET001-DET005) over simulation code",
+        description=(
+            "Scan Python sources for constructs that break the repo's core "
+            "invariant: fixed seeds must produce bit-identical results. "
+            "Findings can be suppressed inline with '# detlint: ignore[CODE]' "
+            "or justified in a checked-in baseline file."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_LINT_PATHS,
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_LINT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of justified findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        metavar="NOTE",
+        default=None,
+        help=(
+            "write every current finding into the baseline file with NOTE as "
+            "the justification, then exit 0 (review the diff before committing)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"        {rule.summary}")
+
+
+def _report_json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "code": finding.code,
+                    "message": finding.message,
+                    "snippet": finding.snippet,
+                }
+                for finding in report.findings
+            ],
+            "files_scanned": report.files_scanned,
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "parse_errors": report.parse_errors,
+        },
+        indent=2,
+    )
+
+
+def command_lint(args: argparse.Namespace) -> int:
+    """Execute the ``lint`` subcommand; returns the process exit code."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    codes: Optional[List[str]] = None
+    if args.select:
+        codes = [code.strip() for code in args.select.split(",") if code.strip()]
+
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and args.update_baseline is None:
+        baseline = load_baseline(args.baseline)
+
+    report = lint_paths(args.paths, codes=codes, baseline=baseline)
+
+    if args.update_baseline is not None:
+        updated = Baseline()
+        updated.extend(report.findings, note=args.update_baseline)
+        save_baseline(updated, args.baseline)
+        print(f"wrote {len(updated)} entr{'y' if len(updated) == 1 else 'ies'} to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(_report_json(report))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for error in report.parse_errors:
+            print(f"parse error: {error}")
+        tail = (
+            f"{report.files_scanned} file(s) scanned, "
+            f"{len(report.findings)} finding(s), "
+            f"{report.suppressed} suppressed inline, "
+            f"{report.baselined} baselined"
+        )
+        print(tail)
+
+    if report.parse_errors:
+        return 2
+    return 0 if not report.findings else 1

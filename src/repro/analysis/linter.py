@@ -1,0 +1,168 @@
+"""The determinism linter driver: findings, suppressions and the scan loop.
+
+The linter parses each module once, runs every registered rule
+(:mod:`repro.analysis.rules`) over the tree and filters the raw findings
+through the two suppression channels:
+
+* **inline** — ``# detlint: ignore[DET001]`` (or ``ignore[DET001,DET003]``)
+  on the offending line suppresses those codes for that line only;
+  ``# detlint: skip-file`` anywhere in a file skips the whole module.
+* **baseline** — a checked-in JSON file (:mod:`repro.analysis.baseline`) of
+  individually justified findings, fingerprinted by
+  ``(path, code, stripped source line)`` so entries survive line churn.
+
+Everything else surfaces in the :class:`LintReport` and fails the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.baseline import Baseline
+
+#: inline suppression syntax: ``# detlint: ignore[DET001]`` / ``ignore[DET001, DET003]``.
+_IGNORE_RE = re.compile(r"#\s*detlint:\s*ignore\[([A-Z0-9,\s]+)\]")
+_SKIP_FILE_RE = re.compile(r"#\s*detlint:\s*skip-file\b")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used by the baseline file."""
+        return (self.path.replace("\\", "/"), self.code, self.snippet)
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over one or more paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing surfaced beyond suppressions and the baseline."""
+        return not self.findings and not self.parse_errors
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.files_scanned += other.files_scanned
+        self.suppressed += other.suppressed
+        self.baselined += other.baselined
+        self.parse_errors.extend(other.parse_errors)
+
+
+def _inline_suppressions(lines: Sequence[str]) -> Tuple[bool, Dict[int, Set[str]]]:
+    """Scan source lines for ``skip-file`` and per-line ``ignore[...]`` markers."""
+    per_line: Dict[int, Set[str]] = {}
+    skip_file = False
+    for number, text in enumerate(lines, start=1):
+        if _SKIP_FILE_RE.search(text):
+            skip_file = True
+        match = _IGNORE_RE.search(text)
+        if match:
+            codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+            per_line.setdefault(number, set()).update(codes)
+    return skip_file, per_line
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    codes: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint one module's source text.
+
+    ``codes`` restricts the run to a subset of rule codes (any order); by
+    default every registered rule runs.  Inline suppressions are honoured;
+    baseline filtering is the caller's concern (see :func:`lint_paths`).
+    """
+    from repro.analysis import rules as _rules  # deferred: rules imports Finding
+
+    report = LintReport(files_scanned=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+        return report
+
+    lines = source.splitlines()
+    skip_file, per_line = _inline_suppressions(lines)
+    if skip_file:
+        return report
+
+    selected = _rules.all_rules()
+    if codes is not None:
+        for code in codes:
+            _rules.get_rule(code)  # unknown codes raise rather than silently no-op
+        wanted = set(codes)
+        selected = [rule for rule in selected if rule.code in wanted]
+
+    context = _rules.LintContext(
+        path=path,
+        module_path=path.replace("\\", "/"),
+        tree=tree,
+        lines=lines,
+    )
+    for rule in selected:
+        for finding in rule.check(context):
+            if finding.code in per_line.get(finding.line, set()):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort()
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    collected: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            collected.update(path.rglob("*.py"))
+        else:
+            collected.add(path)
+    return sorted(collected)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    codes: Optional[Sequence[str]] = None,
+    baseline: Optional["Baseline"] = None,
+) -> LintReport:
+    """Lint files and directories, filtering through an optional baseline."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.extend(lint_source(source, path=str(file_path), codes=codes))
+    if baseline is not None:
+        kept: List[Finding] = []
+        for finding in report.findings:
+            if baseline.contains(finding):
+                report.baselined += 1
+            else:
+                kept.append(finding)
+        report.findings = kept
+    return report

@@ -1,0 +1,472 @@
+"""The determinism rule registry and the built-in DET rules.
+
+Each rule is a pure function from a :class:`LintContext` (one parsed module)
+to a list of :class:`~repro.analysis.linter.Finding`.  Rules are registered
+in a module-level registry — the same single-source-of-truth idiom as the
+round-policy registry (:mod:`repro.sched.registry`): the CLI's rule
+catalogue, the test fixtures and the documentation all derive from the
+registrations at the bottom of this module, and registering a duplicate code
+is a hard error.
+
+Rules resolve imported names through a per-module alias map, so
+``from time import perf_counter as pc`` / ``import numpy as np`` cannot hide
+a banned call.  They only ever flag names that resolve back to a module
+import — a method on a local object that merely *looks* like a banned API
+(``self._rng.random()``) is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.linter import Finding
+
+#: comparison operators DET004 treats as a mode dispatch.
+_MODE_COMPARE_OPS = (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+
+
+@dataclass
+class LintContext:
+    """One module being linted: its path, source lines and parsed tree."""
+
+    #: path as the caller supplied it (used in findings verbatim).
+    path: str
+    #: the same path normalised to forward slashes, for exemption suffixes.
+    module_path: str
+    tree: ast.AST
+    lines: Sequence[str]
+    #: local name -> dotted module path, built once per module.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.imports:
+            self.imports = _build_import_map(self.tree)
+
+    # ------------------------------------------------------------------ helpers
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name a Name/Attribute chain resolves to, through imports.
+
+        ``None`` when the chain does not bottom out in an imported module —
+        attributes of local objects are never resolved, so rules cannot
+        misfire on look-alike methods.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(self.lines):
+            snippet = self.lines[line - 1].strip()
+        return Finding(
+            path=self.path, line=line, col=col, code=code, message=message, snippet=snippet
+        )
+
+    def in_module(self, *suffixes: str) -> bool:
+        """True when this module's normalised path ends with any suffix."""
+        return any(self.module_path.endswith(suffix) for suffix in suffixes)
+
+
+def _build_import_map(tree: ast.AST) -> Dict[str, str]:
+    """Map every locally bound import name to its dotted module path."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the name ``a``.
+                    head = alias.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay inside the package
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered determinism rule."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[[LintContext], List[Finding]]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Register a rule; duplicate codes are a hard error (mirrors the policy registry)."""
+    if rule.code in _REGISTRY:
+        raise ValueError(f"rule code '{rule.code}' is already registered")
+    _REGISTRY[rule.code] = rule
+    return rule
+
+
+def unregister_rule(code: str) -> None:
+    """Remove a registered rule (test hook)."""
+    _REGISTRY.pop(code, None)
+
+
+def get_rule(code: str) -> Rule:
+    """Look one rule up by code, with the registered codes in the error."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(f"'{code}'" for code in _REGISTRY)
+        raise ValueError(f"unknown rule '{code}'; registered rules: {known}") from None
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# --------------------------------------------------------------------- DET001
+#: dotted call targets that read the wall clock or the OS entropy pool.
+WALL_CLOCK_APIS = {
+    "time.time": "reads the wall clock",
+    "time.time_ns": "reads the wall clock",
+    "time.localtime": "reads the wall clock",
+    "time.gmtime": "reads the wall clock",
+    "time.monotonic": "reads a host-dependent clock",
+    "time.monotonic_ns": "reads a host-dependent clock",
+    "time.perf_counter": "reads a host-dependent clock",
+    "time.perf_counter_ns": "reads a host-dependent clock",
+    "datetime.datetime.now": "reads the wall clock",
+    "datetime.datetime.utcnow": "reads the wall clock",
+    "datetime.datetime.today": "reads the wall clock",
+    "datetime.date.today": "reads the wall clock",
+    "os.urandom": "reads the OS entropy pool",
+    "os.getrandom": "reads the OS entropy pool",
+    "uuid.uuid1": "derives from host clock and MAC",
+    "uuid.uuid4": "reads the OS entropy pool",
+}
+
+#: the counter clocks measurement harnesses legitimately need; allowed only
+#: in the modules listed in :data:`PERF_COUNTER_MODULES`.
+PERF_COUNTER_APIS = frozenset(
+    {"time.monotonic", "time.monotonic_ns", "time.perf_counter", "time.perf_counter_ns"}
+)
+PERF_COUNTER_MODULES = ("repro/perf.py",)
+
+
+def _check_wall_clock(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    perf_exempt = ctx.in_module(*PERF_COUNTER_MODULES)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.resolve(node.func)
+        if dotted is None:
+            continue
+        reason = WALL_CLOCK_APIS.get(dotted)
+        if reason is None and dotted.startswith("secrets."):
+            reason = "reads the OS entropy pool"
+        if reason is None:
+            continue
+        if perf_exempt and dotted in PERF_COUNTER_APIS:
+            continue
+        findings.append(
+            ctx.finding(
+                node,
+                "DET001",
+                f"{dotted}() {reason}; simulation code must take time and "
+                "entropy from the seeded simulation substrate",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------- DET002
+#: RNG constructors that are deterministic *only when given a seed*.
+SEEDABLE_RNG_CONSTRUCTORS = frozenset(
+    {"random.Random", "random.SystemRandom", "numpy.random.default_rng", "numpy.random.RandomState"}
+)
+#: numpy.random attributes that are not the ambient global RNG.
+_NUMPY_RANDOM_NON_AMBIENT = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+    }
+)
+
+
+def _check_unseeded_rng(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.resolve(node.func)
+        if dotted is None:
+            continue
+        if dotted in SEEDABLE_RNG_CONSTRUCTORS:
+            if dotted == "random.SystemRandom":
+                findings.append(
+                    ctx.finding(
+                        node, "DET002", f"{dotted}() draws from the OS entropy pool"
+                    )
+                )
+            elif not node.args and not node.keywords:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET002",
+                        f"{dotted}() constructed without a seed; thread an "
+                        "explicit seed (or a seeded Generator) through instead",
+                    )
+                )
+        elif dotted.startswith("random.") or (
+            dotted.startswith("numpy.random.") and dotted not in _NUMPY_RANDOM_NON_AMBIENT
+        ):
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET002",
+                    f"{dotted}() uses the ambient process-global RNG; draw from "
+                    "an explicitly seeded Generator instead",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------- DET003
+def _is_set_expr(node: ast.AST) -> bool:
+    """Set literals, set comprehensions and ``set(...)`` / ``frozenset(...)`` calls."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    """``<expr>.keys()`` / ``.values()`` / ``.items()`` calls (no arguments)."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _comprehension_iters(node: ast.AST) -> List[ast.AST]:
+    """The source iterables of a generator/list/set/dict comprehension."""
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return [gen.iter for gen in node.generators]
+    return []
+
+
+def _check_order_dependence(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET003",
+                    "iterating a set: the visit order is hash-dependent "
+                    "(PYTHONHASHSEED) — sort it, or iterate a deterministic "
+                    "sequence instead",
+                )
+            )
+            continue
+        for source in _comprehension_iters(node):
+            if _is_set_expr(source):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET003",
+                        "comprehension over a set: the visit order is "
+                        "hash-dependent — sort it first",
+                    )
+                )
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("sum", "min", "max")
+            and node.args
+        ):
+            continue
+        arg = node.args[0]
+        sources = [arg] + _comprehension_iters(arg)
+        if any(_is_set_expr(source) for source in sources):
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET003",
+                    f"{node.func.id}() over a set: hash-dependent iteration "
+                    "order makes float accumulation (and tie-breaking) "
+                    "order-dependent — sort the values first",
+                )
+            )
+        elif node.func.id == "sum" and any(_is_dict_view(source) for source in sources):
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET003",
+                    "sum() over a dict view: float accumulation order is the "
+                    "dict's insertion order, an implicit invariant — sort the "
+                    "items (or suppress if the sum is order-exact, e.g. integers)",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------- DET004
+#: the one module allowed to compare mode strings: the policy registry itself.
+MODE_DISPATCH_MODULES = ("sched/registry.py",)
+
+
+def _is_mode_ref(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "mode"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "mode"
+    return False
+
+
+def _check_mode_comparison(ctx: LintContext) -> List[Finding]:
+    if ctx.in_module(*MODE_DISPATCH_MODULES):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, _MODE_COMPARE_OPS) for op in node.ops):
+            continue
+        if any(_is_mode_ref(side) for side in [node.left, *node.comparators]):
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET004",
+                    "mode-string comparison outside the round-policy registry: "
+                    "per-mode behaviour belongs on the registered PolicySpec "
+                    "(repro.sched.registry), not in an if-ladder",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------- DET005
+_MUTABLE_DEFAULT_CALLS = ("list", "dict", "set", "bytearray", "defaultdict")
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_DEFAULT_CALLS
+    )
+
+
+def _check_mutable_defaults(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                findings.append(
+                    ctx.finding(
+                        default,
+                        "DET005",
+                        f"mutable default argument in {node.name}(): state leaks "
+                        "across calls and across experiments — default to None "
+                        "and construct inside the body",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------- registration
+register_rule(
+    Rule(
+        code="DET001",
+        name="wall-clock-or-entropy",
+        summary=(
+            "wall-clock / entropy APIs (time.time, datetime.now, os.urandom, "
+            "uuid.uuid4, ...) are banned in simulation code; the counter "
+            "clocks are allowed only in repro.perf"
+        ),
+        check=_check_wall_clock,
+    )
+)
+register_rule(
+    Rule(
+        code="DET002",
+        name="unseeded-rng",
+        summary=(
+            "unseeded RNG construction (random.Random(), "
+            "np.random.default_rng()) and ambient global-RNG calls "
+            "(module-level random.* / np.random.*)"
+        ),
+        check=_check_unseeded_rng,
+    )
+)
+register_rule(
+    Rule(
+        code="DET003",
+        name="order-dependent-aggregation",
+        summary=(
+            "iteration or sum()/min()/max() over set/frozenset values, and "
+            "sum() over dict views: hash- or insertion-order dependence "
+            "leaks into float accumulation and event ordering"
+        ),
+        check=_check_order_dependence,
+    )
+)
+register_rule(
+    Rule(
+        code="DET004",
+        name="mode-comparison",
+        summary=(
+            "mode-string comparisons (mode == ... / mode in (...)) outside "
+            "repro/sched/registry.py: mode behaviour must derive from the "
+            "policy registry"
+        ),
+        check=_check_mode_comparison,
+    )
+)
+register_rule(
+    Rule(
+        code="DET005",
+        name="mutable-default-argument",
+        summary="mutable default arguments leak state across calls and runs",
+        check=_check_mutable_defaults,
+    )
+)

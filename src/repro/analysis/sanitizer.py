@@ -1,0 +1,165 @@
+"""The runtime simulation sanitizer: read-only invariant checks.
+
+A race-detector analogue for the discrete-event engine.  When enabled
+(``ExperimentConfig(sanitize=True)`` / ``repro run --sanitize``) one
+:class:`SimulationSanitizer` instance is threaded through the run and hooked
+into three layers:
+
+* the **kernel** (:meth:`check_event`): no event may commit in the simulated
+  past — the event queue's ``(time, priority, key, seq)`` total order must
+  hold at execution time, not just at push time;
+* the **link scheduler** (:meth:`check_reservation`, called after every
+  committed :class:`~repro.simnet.network.ScheduledTransfer`): reservations
+  are well-formed (no queue-jumping, no negative wire time), never push an
+  endpoint above its declared parallel capacity, and never start inside a
+  blocked fault window of the path;
+* the **communication fabric** (:meth:`observe_fabric`, called after every
+  fabric operation): the running totals the result documents are built from
+  (wire/queued time, WAN bytes, log lengths) only ever grow.
+
+Every hook is strictly read-only — it inspects public state and raises
+:class:`SanitizerViolation` on the first broken invariant.  A sanitized run
+is therefore **bit-identical** to an unsanitized one, which the test suite
+pins for all five federation modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+class SanitizerViolation(AssertionError):
+    """A simulation invariant was broken.
+
+    Subclasses :class:`AssertionError` deliberately: a violation means the
+    engine itself is wrong, not that the experiment was misconfigured.
+    """
+
+
+class SimulationSanitizer:
+    """Read-only invariant checks over a running simulation.
+
+    One instance serves one experiment run.  The hooks never mutate the
+    objects they inspect and never consume randomness, so attaching a
+    sanitizer cannot perturb the simulated timeline.
+    """
+
+    def __init__(self) -> None:
+        #: checks performed, by hook name — the CLI prints this after a
+        #: ``--sanitize`` run as evidence the sanitizer actually engaged.
+        self.checks: Dict[str, int] = {"event": 0, "reservation": 0, "fabric": 0}
+        self._fabric_watermarks: Dict[int, Tuple[float, float, float, int, int]] = {}
+
+    # ------------------------------------------------------------------ kernel
+    def check_event(self, now: float, event_time: float) -> None:
+        """Assert the next event does not commit in the simulated past."""
+        self.checks["event"] += 1
+        if event_time < now:
+            raise SanitizerViolation(
+                f"event scheduled at t={event_time!r} popped with the clock "
+                f"already at t={now!r}: the kernel would commit an event in "
+                "the simulated past"
+            )
+
+    # --------------------------------------------------------------- scheduler
+    def check_reservation(self, scheduler: Any, scheduled: Any) -> None:
+        """Assert a just-committed transfer respects the scheduler's contract.
+
+        Called from ``LinkScheduler._commit`` *after* the reservation landed,
+        so the capacity sweep sees the new interval in the busy lists.
+        """
+        self.checks["reservation"] += 1
+        if scheduled.started_at < scheduled.requested_at:
+            raise SanitizerViolation(
+                f"transfer {scheduled.source}->{scheduled.destination} started "
+                f"at t={scheduled.started_at!r}, before it was requested at "
+                f"t={scheduled.requested_at!r}"
+            )
+        if scheduled.finished_at < scheduled.started_at:
+            raise SanitizerViolation(
+                f"transfer {scheduled.source}->{scheduled.destination} has "
+                f"negative wire time: started t={scheduled.started_at!r}, "
+                f"finished t={scheduled.finished_at!r}"
+            )
+        endpoints = (
+            (scheduled.source,)
+            if scheduled.source == scheduled.destination
+            else (scheduled.source, scheduled.destination)
+        )
+        for endpoint in endpoints:
+            self._check_capacity(scheduler, endpoint, scheduled)
+        windows = scheduler.path_fault_windows(scheduled.source, scheduled.destination)
+        for start, end in windows:
+            if start <= scheduled.started_at < end:
+                raise SanitizerViolation(
+                    f"transfer {scheduled.source}->{scheduled.destination} "
+                    f"starts at t={scheduled.started_at!r}, inside the blocked "
+                    f"fault window [{start!r}, {end!r})"
+                )
+
+    def _check_capacity(self, scheduler: Any, endpoint: str, scheduled: Any) -> None:
+        """Sweep the intervals overlapping the new one for a capacity breach.
+
+        Reservations occupy half-open ``[start, end)`` intervals; at no
+        instant may more than ``capacity(endpoint)`` of them overlap.  Only
+        the intervals that intersect the new reservation can witness a
+        breach it caused, so the sweep is local.
+        """
+        capacity = scheduler.capacity(endpoint)
+        lo, hi = scheduled.started_at, scheduled.finished_at
+        if hi <= lo:
+            return  # zero-width reservations cannot raise concurrency
+        boundaries: List[Tuple[float, int]] = []
+        for start, end in scheduler.busy_intervals(endpoint):
+            if end > lo and start < hi:  # overlaps the new interval
+                boundaries.append((max(start, lo), 1))
+                boundaries.append((min(end, hi), -1))
+        boundaries.sort()
+        concurrency = 0
+        for time, delta in boundaries:
+            concurrency += delta
+            if concurrency > capacity:
+                raise SanitizerViolation(
+                    f"endpoint '{endpoint}' holds {concurrency} overlapping "
+                    f"reservations at t={time!r}, above its declared "
+                    f"capacity {capacity}"
+                )
+
+    # ------------------------------------------------------------------ fabric
+    def observe_fabric(self, fabric: Any) -> None:
+        """Assert the fabric's running totals only ever grow."""
+        self.checks["fabric"] += 1
+        scheduler = fabric.network.scheduler
+        current = (
+            scheduler.total_wire_time,
+            scheduler.total_queued_time,
+            float(fabric.network.wan_bytes),
+            len(scheduler.log),
+            len(fabric.chain.log),
+        )
+        key = id(fabric)
+        previous = self._fabric_watermarks.get(key)
+        if previous is not None:
+            labels = (
+                "scheduler.total_wire_time",
+                "scheduler.total_queued_time",
+                "network.wan_bytes",
+                "len(scheduler.log)",
+                "len(chain.log)",
+            )
+            for label, before, after in zip(labels, previous, current):
+                if after < before:
+                    raise SanitizerViolation(
+                        f"fabric total {label} moved backwards: "
+                        f"{before!r} -> {after!r}"
+                    )
+        self._fabric_watermarks[key] = current
+
+    # --------------------------------------------------------------- reporting
+    def report(self) -> Dict[str, int]:
+        """Checks performed per hook — all zeros means nothing was attached."""
+        return dict(self.checks)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks[name] for name in sorted(self.checks))

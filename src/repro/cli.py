@@ -43,6 +43,7 @@ from repro.core.config import (
     gpu_cluster_configs,
     tiny_imagenet_workload,
 )
+from repro.analysis.cli import add_lint_parser, command_lint
 from repro.core.policies import available_aggregation_policies, available_scoring_policies
 from repro.core.reporting import save_result_json, save_results_csv
 from repro.core.results import (
@@ -122,6 +123,7 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         backoff_jitter=args.backoff_jitter,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        sanitize=args.sanitize,
     )
 
 
@@ -273,6 +275,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="resilience: simulated seconds an open breaker fails fast before "
         "admitting one half-open trial",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the simulation sanitizer: read-only invariant checks on "
+        "the kernel, link scheduler and fabric (a sanitized run stays "
+        "bit-identical; violations abort with a SanitizerViolation)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -318,6 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_sched.json",
         help="output path for the BENCH document (default: BENCH_sched.json)",
     )
+
+    add_lint_parser(subparsers)
     return parser
 
 
@@ -329,6 +339,11 @@ def _command_run(args: argparse.Namespace) -> int:
         print(report)
     else:
         result = runner.run()
+    if runner.sanitizer is not None:
+        checks = runner.sanitizer.report()
+        detail = ", ".join(f"{name}={checks[name]}" for name in sorted(checks))
+        print(f"Sanitizer: {runner.sanitizer.total_checks} checks passed ({detail})")
+        print()
     print(format_run_table(result))
     print()
     print(f"Mean global accuracy : {result.mean_global_accuracy * 100:.2f} %")
@@ -405,6 +420,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_policies(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "lint":
+        return command_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

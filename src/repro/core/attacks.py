@@ -54,7 +54,7 @@ class GaussianNoiseAttack(ModelPoisoningAttack):
         self.noise_scale = noise_scale
 
     def poison(self, weights: Weights, rng: Optional[np.random.Generator] = None) -> Weights:
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         return [rng.normal(scale=self.noise_scale, size=w.shape) for w in weights]
 
 

@@ -210,6 +210,11 @@ class ExperimentConfig:
     block_period: float = 2.0
     #: sample resource usage for the Table 7 overhead report.
     monitor_resources: bool = True
+    #: attach the simulation sanitizer (:mod:`repro.analysis.sanitizer`):
+    #: read-only invariant checks on the kernel, the link scheduler and the
+    #: communication fabric.  Never perturbs the timeline — a sanitized run
+    #: is bit-identical to an unsanitized one (CLI ``--sanitize``).
+    sanitize: bool = False
     #: model network transfers and contract calls as first-class event streams
     #: (link contention + block-interval/consensus chain delays) instead of
     #: per-interaction constants.  On by default since the hot-path

@@ -110,6 +110,9 @@ class _BaseOrchestrator:
         self._idle_totals: Dict[str, float] = {a.name: 0.0 for a in aggregators}
         self._straggles: Dict[str, int] = {a.name: 0 for a in aggregators}
         self.kernel: Optional[SimulationKernel] = None
+        #: optional simulation sanitizer, installed on every kernel this
+        #: orchestrator creates (set by the runner before :meth:`run`).
+        self.sanitizer = None
 
     def register_all(self) -> None:
         """Register every aggregator with the contract (idempotent per run)."""
@@ -140,6 +143,7 @@ class _BaseOrchestrator:
             raise ValueError("num_rounds must be positive")
         self.register_all()
         self.kernel = SimulationKernel()
+        self.kernel.sanitizer = self.sanitizer
         policy = self._build_policy(self._context(num_rounds))
         policy.install(self.kernel)
         self.kernel.run()

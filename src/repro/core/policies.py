@@ -162,7 +162,7 @@ class RandomK(AggregationPolicy):
         self.k = k
 
     def select(self, candidates, self_candidate=None, rng=None):
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         pool = list(candidates)
         if len(pool) > self.k:
             picked_idx = rng.choice(len(pool), size=self.k, replace=False)

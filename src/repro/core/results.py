@@ -212,8 +212,8 @@ def format_policy_table(result: ExperimentResult) -> str:
         for key in sorted(tiers):
             tier, _, activity = key.partition("_")
             lines.append(f"{tier + ' ' + activity.replace('_', ' '):<32}{tiers[key]:>12.2f}")
-        local = sum(v for k, v in tiers.items() if k.startswith("local_"))
-        global_ = sum(v for k, v in tiers.items() if k.startswith("global_"))
+        local = sum(v for k, v in sorted(tiers.items()) if k.startswith("local_"))
+        global_ = sum(v for k, v in sorted(tiers.items()) if k.startswith("global_"))
         lines.append("-" * len(header))
         lines.append(f"{'total local tier':<32}{local:>12.2f}")
         lines.append(f"{'total global tier':<32}{global_:>12.2f}")

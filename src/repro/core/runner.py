@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import SimulationSanitizer
 from repro.chain.account import Account
 from repro.chain.blockchain import Blockchain
 from repro.core.aggregator import UnifyFLAggregator
@@ -90,6 +91,10 @@ class ExperimentRunner:
         #: the run's deterministic fault schedule (``None`` unless the
         #: configuration injects churn, outages or partitions).
         self.fault_plan: Optional[FaultPlan] = None
+        #: read-only invariant checker (``config.sanitize=True`` only),
+        #: created in :meth:`build` and hooked into the kernel, the link
+        #: scheduler and the fabric.
+        self.sanitizer: Optional[SimulationSanitizer] = None
 
     # ------------------------------------------------------------------- data
     @staticmethod
@@ -301,6 +306,11 @@ class ExperimentRunner:
         self.swarm = IPFSSwarm()
         self.fault_plan = self._build_fault_plan()
         self.comm = self._build_comm_fabric()
+        if self.config.sanitize:
+            self.sanitizer = SimulationSanitizer()
+            if self.comm is not None:
+                self.comm.sanitizer = self.sanitizer
+                self.comm.network.scheduler.sanitizer = self.sanitizer
         if self.comm is not None:
             # Chain-side emission hook: every sealed block feeds the chain
             # actor's observed-block counters for the comm report.
@@ -343,7 +353,9 @@ class ExperimentRunner:
         assert self.chain is not None and self._driver_account is not None
         rounds = rounds or self.config.rounds
 
-        orchestration = self._build_orchestrator().run(rounds)
+        orchestrator = self._build_orchestrator()
+        orchestrator.sanitizer = self.sanitizer
+        orchestration = orchestrator.run(rounds)
         self._record_daemon_overhead(rounds)
         return self._collect_result(orchestration, rounds)
 

@@ -74,7 +74,7 @@ class GaussianDPMechanism:
         self.clip_norm = clip_norm
         self.noise_multiplier = noise_multiplier
         self.accountant = PrivacyAccountant(noise_multiplier=noise_multiplier, delta=delta)
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
         self._applications = 0
 
     @property

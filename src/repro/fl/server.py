@@ -50,7 +50,7 @@ class FLServer:
         """Execute one federated round and return its metrics."""
         if not 0.0 < client_fraction <= 1.0:
             raise ValueError("client_fraction must be in (0, 1]")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         participants = self._select_clients(client_fraction, rng)
         results = [client.fit(self.global_weights) for client in participants]
         self.global_weights = self.strategy.aggregate(self.global_weights, results)

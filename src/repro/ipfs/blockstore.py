@@ -147,7 +147,8 @@ class BlockStore:
     @property
     def stored_bytes(self) -> int:
         """Total bytes of raw block data held locally."""
-        return sum(len(b) for b in self._blocks.values())
+        # integer byte counts: addition is order-exact
+        return sum(len(b) for b in self._blocks.values())  # detlint: ignore[DET003]
 
     def object_cids(self) -> List[CID]:
         """All locally stored root CIDs."""

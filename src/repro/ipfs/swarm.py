@@ -113,7 +113,8 @@ class IPFSSwarm:
     # -- aggregate statistics -----------------------------------------------------
     def total_stored_bytes(self) -> int:
         """Sum of raw block bytes across every node (counts replicas)."""
-        return sum(node.stored_bytes for node in self._nodes.values())
+        # integer byte counts: addition is order-exact
+        return sum(node.stored_bytes for node in self._nodes.values())  # detlint: ignore[DET003]
 
     def total_transferred_bytes(self) -> int:
         """Total bytes moved between peers since the swarm was created."""

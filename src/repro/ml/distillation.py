@@ -118,7 +118,7 @@ def distill(
     if epochs <= 0 or batch_size <= 0:
         raise ValueError("epochs and batch_size must be positive")
     optimizer = optimizer or SGD(learning_rate=0.05)
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     loss_fn = DistillationLoss(alpha=alpha, temperature=temperature)
     soft_labels = ensemble_soft_labels(teachers, x, temperature=temperature)
 

@@ -73,7 +73,7 @@ class Dense(Layer):
     def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None):
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Dense dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         limit = np.sqrt(6.0 / (in_features + out_features))
         self.weight = rng.uniform(-limit, limit, size=(in_features, out_features)).astype(np.float64)
         self.bias = np.zeros(out_features, dtype=np.float64)
@@ -168,7 +168,7 @@ class Dropout(Layer):
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must be in [0, 1)")
         self.rate = rate
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -294,7 +294,7 @@ class Conv2d(Layer):
             raise ValueError("Conv2d dimensions must be positive")
         if padding < 0:
             raise ValueError("padding must be non-negative")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         fan_in = in_channels * kernel_size * kernel_size
         fan_out = out_channels * kernel_size * kernel_size
         limit = np.sqrt(6.0 / (fan_in + fan_out))

@@ -105,7 +105,7 @@ class Model:
             return []
         optimizer = optimizer or SGD(learning_rate=0.01)
         loss_fn = loss_fn or CrossEntropyLoss()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         epoch_losses: List[float] = []
         n = len(x)
         for _ in range(epochs):

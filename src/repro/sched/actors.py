@@ -672,8 +672,8 @@ class NetworkActor:
             "retries": float(self.retries),
             "backoff_wait_s": self.backoff_wait_s,
             "failovers": float(self.failovers),
-            "breaker_trips": float(sum(b.trips for b in self._breakers.values())),
-            "breaker_open_s": float(sum(b.open_seconds for b in self._breakers.values())),
+            "breaker_trips": float(sum(b.trips for _, b in sorted(self._breakers.items()))),
+            "breaker_open_s": float(sum(b.open_seconds for _, b in sorted(self._breakers.items()))),
             "breaker_fast_fails": float(self.fast_fails),
             "dropped_clients": float(self.faults.dropped_clients) if self.faults else 0.0,
             "fault_outage_s": self.faults.outage_seconds if self.faults else 0.0,
@@ -805,6 +805,14 @@ class CommFabric:
     def __init__(self, network_actor: NetworkActor, chain_actor: ChainActor):
         self.network = network_actor
         self.chain = chain_actor
+        #: optional :class:`~repro.analysis.sanitizer.SimulationSanitizer`;
+        #: when set, the fabric's running totals are re-checked for
+        #: monotonicity after every operation (read-only).
+        self.sanitizer = None
+
+    def _observe(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.observe_fabric(self)
 
     # ------------------------------------------------------- aggregator-facing
     def upload(
@@ -819,7 +827,9 @@ class CommFabric:
         ``object_ids`` (one per model, e.g. the IPFS CIDs) feed the replica
         availability ledger so later downloads can be replication-gated.
         """
-        return self.network.upload(endpoint, num_models, at, object_ids=object_ids)
+        elapsed = self.network.upload(endpoint, num_models, at, object_ids=object_ids)
+        self._observe()
+        return elapsed
 
     def download(
         self,
@@ -833,7 +843,9 @@ class CommFabric:
         With ``object_ids`` the fetches respect each object's availability:
         read-your-writes gating and, in lazy mode, on-demand fetches.
         """
-        return self.network.download(endpoint, num_models, at, object_ids=object_ids)
+        elapsed = self.network.download(endpoint, num_models, at, object_ids=object_ids)
+        self._observe()
+        return elapsed
 
     def exchange(self, source: str, destination: str, at: float, num_models: int = 1) -> float:
         """Elapsed seconds to shuttle models directly between two clusters.
@@ -843,7 +855,9 @@ class CommFabric:
         group model back, all on the cluster↔cluster links of the topology
         (LAN-priced within a site, WAN-crossing otherwise).
         """
-        return self.network.exchange(source, destination, num_models, at)
+        elapsed = self.network.exchange(source, destination, num_models, at)
+        self._observe()
+        return elapsed
 
     def gossip_pull(self, endpoint: str, at: float, object_id: str) -> float:
         """Elapsed seconds for one gossip exchange: pull a peer's model by CID.
@@ -853,13 +867,17 @@ class CommFabric:
         miss — but is accounted as "exchange" traffic so the per-exchange
         breakdown stays separable from ordinary aggregation pulls.
         """
-        return self.network.download(endpoint, 1, at, object_ids=[object_id], phase="exchange")
+        elapsed = self.network.download(endpoint, 1, at, object_ids=[object_id], phase="exchange")
+        self._observe()
+        return elapsed
 
     def chain_op(self, kind: str, endpoint: str, at: float, num_transactions: int = 1) -> float:
         """Elapsed seconds until ``num_transactions`` submitted ``at`` are final."""
         if num_transactions <= 0:
             return 0.0
-        return self.chain.interact(kind, endpoint, at, num_transactions).delay
+        delay = self.chain.interact(kind, endpoint, at, num_transactions).delay
+        self._observe()
+        return delay
 
     # ----------------------------------------------------------- policy-facing
     def estimate_submission(self, endpoint: str, at: float) -> float:

@@ -31,6 +31,10 @@ class SimulationKernel:
         self.queue = EventQueue()
         self.events_processed = 0
         self._stopped = False
+        #: optional :class:`~repro.analysis.sanitizer.SimulationSanitizer`;
+        #: when set, every popped event is checked against the clock before
+        #: the kernel commits to it.
+        self.sanitizer = None
 
     # --------------------------------------------------------------- scheduling
     def now(self) -> float:
@@ -69,6 +73,8 @@ class SimulationKernel:
         if not self.queue:
             return False
         event = self.queue.pop()
+        if self.sanitizer is not None:
+            self.sanitizer.check_event(self.clock.now(), event.time)
         self.clock.advance_to(event.time)
         self.events_processed += 1
         event.action()

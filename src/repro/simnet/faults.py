@@ -202,14 +202,18 @@ class FaultPlan:
     def outage_seconds(self) -> float:
         """Total injected replica downtime (merged, across replicas)."""
         return sum(
-            end - start for windows in self._replica_windows.values() for start, end in windows
+            end - start
+            for _, windows in sorted(self._replica_windows.items())
+            for start, end in windows
         )
 
     @property
     def partition_seconds(self) -> float:
         """Total injected partition time (merged, across site pairs)."""
         return sum(
-            end - start for windows in self._partition_windows.values() for start, end in windows
+            end - start
+            for _, windows in sorted(self._partition_windows.items())
+            for start, end in windows
         )
 
     # -------------------------------------------------------------- construction

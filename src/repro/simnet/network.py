@@ -227,6 +227,10 @@ class LinkScheduler:
         self._sites: Dict[str, str] = {}
         #: severed-WAN windows per unordered site pair (merged, sorted).
         self._partitions: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        #: optional :class:`~repro.analysis.sanitizer.SimulationSanitizer`;
+        #: when set, every committed reservation is re-checked against the
+        #: capacity and fault-window contracts (read-only, after the commit).
+        self.sanitizer = None
         for endpoint, capacity in (capacities or {}).items():
             self.set_capacity(endpoint, capacity)
 
@@ -274,6 +278,15 @@ class LinkScheduler:
     def outage_windows(self, endpoint: str) -> List[Tuple[float, float]]:
         """The declared downtime windows of one endpoint."""
         return list(self._outages.get(endpoint, ()))
+
+    def path_fault_windows(self, source: str, destination: str) -> List[Tuple[float, float]]:
+        """Merged fault windows blocking the ``source -> destination`` path.
+
+        The public form of :meth:`_fault_windows` for observers (the
+        simulation sanitizer, diagnostics): always a list, empty when no
+        outage or partition applies to the path.
+        """
+        return self._fault_windows(source, destination) or []
 
     def _fault_windows(self, source: str, destination: str) -> Optional[List[Tuple[float, float]]]:
         """Merged fault windows blocking the ``source -> destination`` path.
@@ -598,6 +611,8 @@ class LinkScheduler:
         self._wire_total += scheduled.duration
         self._plan_cache.clear()
         self.epoch += 1
+        if self.sanitizer is not None:
+            self.sanitizer.check_reservation(self, scheduled)
 
     @property
     def total_queued_time(self) -> float:

@@ -1,0 +1,373 @@
+"""Tests for the determinism linter (:mod:`repro.analysis`).
+
+Each DET rule gets a violating/clean fixture pair, the two suppression
+channels (inline ignores and the baseline file) round-trip, the rule
+registry mirrors the policy registry's invariants, and — the CI contract —
+the shipped ``src/repro`` tree lints clean against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    register_rule,
+    save_baseline,
+)
+from repro.analysis.rules import unregister_rule
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes_of(report):
+    return sorted({finding.code for finding in report.findings})
+
+
+# --------------------------------------------------------------- rule fixtures
+class TestDET001WallClock:
+    def test_flags_wall_clock_and_entropy_calls(self):
+        source = (
+            "import time\n"
+            "import os\n"
+            "import uuid\n"
+            "def stamp():\n"
+            "    return time.time(), os.urandom(8), uuid.uuid4()\n"
+        )
+        report = lint_source(source, path="src/repro/example.py")
+        assert codes_of(report) == ["DET001"]
+        assert len(report.findings) == 3
+
+    def test_clean_simulated_time_passes(self):
+        source = (
+            "def stamp(clock):\n"
+            "    return clock.now()\n"
+        )
+        report = lint_source(source, path="src/repro/example.py")
+        assert report.findings == []
+
+    def test_resolves_import_aliases(self):
+        source = (
+            "from time import perf_counter as pc\n"
+            "def measure():\n"
+            "    return pc()\n"
+        )
+        report = lint_source(source, path="src/repro/example.py")
+        assert codes_of(report) == ["DET001"]
+
+    def test_perf_counter_allowed_only_in_perf_module(self):
+        source = (
+            "import time\n"
+            "def measure():\n"
+            "    return time.perf_counter()\n"
+        )
+        assert lint_source(source, path="src/repro/perf.py").findings == []
+        assert codes_of(lint_source(source, path="src/repro/other.py")) == ["DET001"]
+
+    def test_lookalike_method_on_local_object_is_not_flagged(self):
+        source = (
+            "def use(clock):\n"
+            "    return clock.time()\n"
+        )
+        assert lint_source(source, path="src/repro/example.py").findings == []
+
+
+class TestDET002UnseededRNG:
+    def test_flags_unseeded_constructors_and_ambient_calls(self):
+        source = (
+            "import random\n"
+            "import numpy as np\n"
+            "a = random.Random()\n"
+            "b = np.random.default_rng()\n"
+            "c = random.randint(0, 9)\n"
+            "d = np.random.normal()\n"
+        )
+        report = lint_source(source, path="src/repro/example.py")
+        assert codes_of(report) == ["DET002"]
+        assert len(report.findings) == 4
+
+    def test_seeded_constructors_pass(self):
+        source = (
+            "import random\n"
+            "import numpy as np\n"
+            "a = random.Random(7)\n"
+            "b = np.random.default_rng(7)\n"
+            "c = np.random.default_rng(seed=7)\n"
+            "d = b.normal()\n"
+        )
+        assert lint_source(source, path="src/repro/example.py").findings == []
+
+    def test_system_random_is_flagged_even_with_arguments(self):
+        source = "import random\nr = random.SystemRandom()\n"
+        assert codes_of(lint_source(source, path="src/repro/x.py")) == ["DET002"]
+
+
+class TestDET003OrderDependence:
+    def test_flags_set_iteration_and_aggregation(self):
+        source = (
+            "def f(names):\n"
+            "    total = 0.0\n"
+            "    for name in set(names):\n"
+            "        total += len(name)\n"
+            "    return total + sum({1.0, 2.0}) + max(frozenset(names))\n"
+        )
+        report = lint_source(source, path="src/repro/example.py")
+        assert codes_of(report) == ["DET003"]
+        assert len(report.findings) == 3
+
+    def test_flags_sum_over_dict_views(self):
+        source = (
+            "def f(table):\n"
+            "    return sum(table.values()) + sum(v for v in table.values())\n"
+        )
+        report = lint_source(source, path="src/repro/example.py")
+        assert codes_of(report) == ["DET003"]
+        assert len(report.findings) == 2
+
+    def test_sorted_aggregation_passes(self):
+        source = (
+            "def f(names, table):\n"
+            "    for name in sorted(set(names)):\n"
+            "        pass\n"
+            "    return sum(v for _, v in sorted(table.items()))\n"
+        )
+        assert lint_source(source, path="src/repro/example.py").findings == []
+
+    def test_plain_dict_iteration_is_not_flagged(self):
+        # dict views are insertion-ordered; only float accumulation via
+        # sum() makes the order an implicit invariant worth flagging.
+        source = (
+            "def f(table):\n"
+            "    for key in table.keys():\n"
+            "        pass\n"
+            "    return max(table.values())\n"
+        )
+        assert lint_source(source, path="src/repro/example.py").findings == []
+
+
+class TestDET004ModeComparison:
+    def test_flags_mode_ladders(self):
+        source = (
+            "def dispatch(config):\n"
+            "    if config.mode == 'sync':\n"
+            "        return 1\n"
+            "    if mode in ('async', 'semi'):\n"
+            "        return 2\n"
+        )
+        report = lint_source(source, path="src/repro/core/runner.py")
+        assert codes_of(report) == ["DET004"]
+        assert len(report.findings) == 2
+
+    def test_registry_module_is_exempt(self):
+        source = "def check(mode):\n    return mode == 'sync'\n"
+        assert lint_source(source, path="src/repro/sched/registry.py").findings == []
+        assert codes_of(lint_source(source, path="src/repro/core/cli.py")) == ["DET004"]
+
+    def test_registry_lookup_passes(self):
+        source = (
+            "def dispatch(registry, config):\n"
+            "    return registry.get_policy(config.mode).factory(config)\n"
+        )
+        assert lint_source(source, path="src/repro/core/runner.py").findings == []
+
+
+class TestDET005MutableDefaults:
+    def test_flags_mutable_defaults(self):
+        source = (
+            "def collect(into=[], table={}, seen=set()):\n"
+            "    return into, table, seen\n"
+        )
+        report = lint_source(source, path="src/repro/example.py")
+        assert codes_of(report) == ["DET005"]
+        assert len(report.findings) == 3
+
+    def test_none_default_passes(self):
+        source = (
+            "def collect(into=None, count=0, name=''):\n"
+            "    return into if into is not None else []\n"
+        )
+        assert lint_source(source, path="src/repro/example.py").findings == []
+
+
+# ---------------------------------------------------------------- suppressions
+class TestSuppressions:
+    VIOLATING = "import time\nstamp = time.time()  # detlint: ignore[DET001]\n"
+
+    def test_inline_ignore_suppresses_the_named_code(self):
+        report = lint_source(self.VIOLATING, path="src/repro/x.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_inline_ignore_is_per_line_and_per_code(self):
+        source = (
+            "import time\n"
+            "a = time.time()  # detlint: ignore[DET002]\n"  # wrong code
+            "b = time.time()\n"  # no marker
+        )
+        report = lint_source(source, path="src/repro/x.py")
+        assert len(report.findings) == 2
+        assert report.suppressed == 0
+
+    def test_ignore_accepts_multiple_codes(self):
+        source = (
+            "import time, random\n"
+            "x = sum({random.random(), time.time()})  # detlint: ignore[DET001,DET002,DET003]\n"
+        )
+        report = lint_source(source, path="src/repro/x.py")
+        assert report.findings == []
+        assert report.suppressed == 3
+
+    def test_skip_file_suppresses_the_whole_module(self):
+        source = "# detlint: skip-file\nimport time\nstamp = time.time()\n"
+        report = lint_source(source, path="src/repro/x.py")
+        assert report.findings == []
+
+    def test_code_filter_restricts_the_run(self):
+        source = "import time\nstamp = time.time()\ndef f(x=[]):\n    return x\n"
+        only_005 = lint_source(source, path="src/repro/x.py", codes=("DET005",))
+        assert codes_of(only_005) == ["DET005"]
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source(source, path="src/repro/x.py", codes=("DET999",))
+
+
+# -------------------------------------------------------------------- baseline
+class TestBaseline:
+    def test_round_trip_and_filtering(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import time\nstamp = time.time()\n")
+        report = lint_paths([str(module)])
+        assert len(report.findings) == 1
+
+        baseline = Baseline()
+        baseline.add(report.findings[0], note="fixture: intentionally nondeterministic")
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline, baseline_path)
+        reloaded = load_baseline(baseline_path)
+        assert len(reloaded) == 1
+
+        filtered = lint_paths([str(module)], baseline=reloaded)
+        assert filtered.findings == []
+        assert filtered.baselined == 1
+
+    def test_fingerprint_survives_line_churn(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import time\nstamp = time.time()\n")
+        baseline = Baseline()
+        baseline.add(lint_paths([str(module)]).findings[0], note="pinned")
+        # Push the offending line down: the (path, code, snippet) fingerprint
+        # still matches even though the line number moved.
+        module.write_text("import time\n\n\n# padding\nstamp = time.time()\n")
+        filtered = lint_paths([str(module)], baseline=baseline)
+        assert filtered.findings == []
+        assert filtered.baselined == 1
+
+    def test_note_is_mandatory(self):
+        baseline = Baseline()
+        with pytest.raises(ValueError, match="justification"):
+            baseline.add(
+                lint_source("import time\nt = time.time()\n", path="x.py").findings[0],
+                note="   ",
+            )
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert len(load_baseline(tmp_path / "absent.json")) == 0
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+# --------------------------------------------------------------- rule registry
+class TestRuleRegistry:
+    def test_builtin_rules_are_registered_in_order(self):
+        assert [rule.code for rule in all_rules()] == [
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "DET005",
+        ]
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule(Rule(code="DET001", name="dup", summary="", check=lambda ctx: []))
+
+    def test_unknown_rule_lists_registered_codes(self):
+        with pytest.raises(ValueError, match="DET001") as excinfo:
+            get_rule("DET999")
+        assert "registered rules" in str(excinfo.value)
+
+    def test_custom_rule_registers_and_unregisters(self):
+        rule = Rule(code="DET900", name="test-only", summary="", check=lambda ctx: [])
+        register_rule(rule)
+        try:
+            assert get_rule("DET900") is rule
+        finally:
+            unregister_rule("DET900")
+        with pytest.raises(ValueError):
+            get_rule("DET900")
+
+
+# ------------------------------------------------------------ the CI contract
+class TestShippedTreeLintsClean:
+    def test_src_repro_is_clean_against_the_checked_in_baseline(self):
+        baseline = load_baseline(REPO_ROOT / "detlint.baseline.json")
+        report = lint_paths([str(REPO_ROOT / "src" / "repro")], baseline=baseline)
+        assert report.parse_errors == []
+        assert report.findings == [], "\n".join(f.render() for f in report.findings)
+
+    def test_cli_lint_subcommand_exits_clean(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src/repro"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_cli_lint_reports_violations_with_exit_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        module = tmp_path / "bad.py"
+        module.write_text("import time\nstamp = time.time()\n")
+        assert main(["lint", str(module), "--no-baseline"]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_cli_update_baseline_round_trips(self, tmp_path, capsys):
+        from repro.cli import main
+
+        module = tmp_path / "bad.py"
+        module.write_text("import time\nstamp = time.time()\n")
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(module),
+                    "--baseline",
+                    str(baseline_path),
+                    "--update-baseline",
+                    "fixture entry",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["lint", str(module), "--baseline", str(baseline_path)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_cli_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005"):
+            assert code in out

@@ -1,0 +1,228 @@
+"""Tests for the simulation sanitizer (:mod:`repro.analysis.sanitizer`).
+
+The sanitizer must trip on artificially corrupted state at every hooked
+layer (kernel, link scheduler, fabric totals), stay silent across default
+runs of every mode, and — the core contract — leave a sanitized run
+bit-identical to an unsanitized one.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import SanitizerViolation, SimulationSanitizer
+from repro.core.config import ExperimentConfig, cifar10_workload, edge_cluster_configs
+from repro.core.runner import ExperimentRunner
+from repro.sched.kernel import SimulationKernel
+from repro.simnet.network import LinkScheduler, ScheduledTransfer
+
+ALL_MODES = ("sync", "async", "semi", "hierarchical", "gossip")
+
+
+def tiny_config(mode: str = "async", **kwargs) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=f"sanitizer-{mode}",
+        workload=cifar10_workload(rounds=2, samples_per_class=8, image_size=8),
+        clusters=edge_cluster_configs(num_clients=2),
+        mode=mode,
+        rounds=2,
+        seed=5,
+        monitor_resources=False,
+        storage_replicas=2,
+        **kwargs,
+    )
+
+
+# -------------------------------------------------------------- kernel hook
+class TestKernelHook:
+    def test_trips_on_an_event_in_the_simulated_past(self):
+        kernel = SimulationKernel()
+        kernel.sanitizer = SimulationSanitizer()
+        kernel.clock.advance_to(10.0)
+        # Bypass schedule_at (which clamps to now): the raw queue accepts the
+        # corrupted timestamp, and without the sanitizer the clock would
+        # silently swallow it (advance_to ignores past timestamps).
+        kernel.queue.push(5.0, lambda: None)
+        with pytest.raises(SanitizerViolation, match="simulated past"):
+            kernel.step()
+
+    def test_silent_on_an_ordered_event_stream(self):
+        kernel = SimulationKernel()
+        kernel.sanitizer = SimulationSanitizer()
+        fired = []
+        kernel.schedule_at(1.0, lambda: fired.append(1))
+        kernel.schedule_at(2.0, lambda: fired.append(2))
+        kernel.run()
+        assert fired == [1, 2]
+        assert kernel.sanitizer.checks["event"] == 2
+
+    def test_detached_kernel_does_not_check(self):
+        kernel = SimulationKernel()
+        kernel.clock.advance_to(10.0)
+        kernel.queue.push(5.0, lambda: None)
+        assert kernel.step()  # the pre-sanitizer behaviour: silently tolerated
+
+
+# ----------------------------------------------------------- scheduler hook
+class TestSchedulerHook:
+    def build(self) -> LinkScheduler:
+        scheduler = LinkScheduler()
+        scheduler.sanitizer = SimulationSanitizer()
+        return scheduler
+
+    def test_silent_on_planned_transfers(self):
+        scheduler = self.build()
+        for at in (0.0, 1.0, 2.0):
+            scheduler.transfer("a", "b", 1_000_000, at)
+        assert scheduler.sanitizer.checks["reservation"] == 3
+
+    def test_trips_on_a_transfer_starting_before_its_request(self):
+        scheduler = self.build()
+        corrupted = ScheduledTransfer(
+            source="a", destination="b", num_bytes=1,
+            requested_at=5.0, started_at=4.0, finished_at=6.0,
+        )
+        with pytest.raises(SanitizerViolation, match="before it was requested"):
+            scheduler._commit(corrupted)
+
+    def test_trips_on_negative_wire_time(self):
+        scheduler = self.build()
+        corrupted = ScheduledTransfer(
+            source="a", destination="b", num_bytes=1,
+            requested_at=0.0, started_at=5.0, finished_at=4.0,
+        )
+        with pytest.raises(SanitizerViolation, match="negative wire time"):
+            scheduler._commit(corrupted)
+
+    def test_trips_on_a_capacity_breach(self):
+        scheduler = self.build()
+        first = ScheduledTransfer(
+            source="a", destination="b", num_bytes=1,
+            requested_at=0.0, started_at=0.0, finished_at=10.0,
+        )
+        scheduler._commit(first)  # alone: fine
+        overlapping = ScheduledTransfer(
+            source="a", destination="c", num_bytes=1,
+            requested_at=0.0, started_at=5.0, finished_at=15.0,
+        )
+        # Endpoint 'a' is serial (capacity 1); a second overlapping
+        # reservation could never come out of the planner.
+        with pytest.raises(SanitizerViolation, match="above its declared"):
+            scheduler._commit(overlapping)
+
+    def test_respects_raised_capacity(self):
+        scheduler = self.build()
+        scheduler.set_capacity("a", 2)
+        for destination in ("b", "c"):
+            scheduler._commit(
+                ScheduledTransfer(
+                    source="a", destination=destination, num_bytes=1,
+                    requested_at=0.0, started_at=0.0, finished_at=10.0,
+                )
+            )
+        third = ScheduledTransfer(
+            source="a", destination="d", num_bytes=1,
+            requested_at=0.0, started_at=5.0, finished_at=15.0,
+        )
+        with pytest.raises(SanitizerViolation, match="above its declared"):
+            scheduler._commit(third)
+
+    def test_trips_on_a_start_inside_a_fault_window(self):
+        scheduler = self.build()
+        scheduler.set_outages("b", [(10.0, 20.0)])
+        corrupted = ScheduledTransfer(
+            source="a", destination="b", num_bytes=1,
+            requested_at=15.0, started_at=15.0, finished_at=16.0,
+        )
+        with pytest.raises(SanitizerViolation, match="fault window"):
+            scheduler._commit(corrupted)
+
+    def test_planned_transfers_avoid_fault_windows(self):
+        scheduler = self.build()
+        scheduler.set_outages("b", [(0.0, 50.0)])
+        scheduled = scheduler.transfer("a", "b", 1_000_000, 10.0)
+        assert scheduled.started_at >= 50.0
+        assert scheduler.sanitizer.checks["reservation"] == 1
+
+
+# -------------------------------------------------------------- fabric hook
+class TestFabricHook:
+    def fake_fabric(self) -> SimpleNamespace:
+        scheduler = SimpleNamespace(total_wire_time=1.0, total_queued_time=0.5, log=[1, 2])
+        return SimpleNamespace(
+            network=SimpleNamespace(scheduler=scheduler, wan_bytes=100),
+            chain=SimpleNamespace(log=[1]),
+        )
+
+    def test_silent_while_totals_grow(self):
+        sanitizer = SimulationSanitizer()
+        fabric = self.fake_fabric()
+        sanitizer.observe_fabric(fabric)
+        fabric.network.scheduler.total_wire_time = 2.0
+        fabric.network.scheduler.log.append(3)
+        fabric.network.wan_bytes = 250
+        sanitizer.observe_fabric(fabric)
+        assert sanitizer.checks["fabric"] == 2
+
+    def test_trips_when_a_total_moves_backwards(self):
+        sanitizer = SimulationSanitizer()
+        fabric = self.fake_fabric()
+        sanitizer.observe_fabric(fabric)
+        fabric.network.wan_bytes = 50
+        with pytest.raises(SanitizerViolation, match="wan_bytes moved backwards"):
+            sanitizer.observe_fabric(fabric)
+
+    def test_trips_when_the_log_shrinks(self):
+        sanitizer = SimulationSanitizer()
+        fabric = self.fake_fabric()
+        sanitizer.observe_fabric(fabric)
+        fabric.network.scheduler.log.pop()
+        with pytest.raises(SanitizerViolation, match="log.*moved backwards"):
+            sanitizer.observe_fabric(fabric)
+
+
+# --------------------------------------------------------------- end to end
+class TestSanitizedRuns:
+    def test_default_config_attaches_no_sanitizer(self):
+        runner = ExperimentRunner(tiny_config())
+        runner.build()
+        assert runner.sanitizer is None
+        assert runner.comm is not None and runner.comm.sanitizer is None
+
+    def test_sanitized_run_is_silent_and_actually_checks(self):
+        runner = ExperimentRunner(tiny_config(sanitize=True))
+        runner.run()  # a violation would raise out of here
+        assert runner.sanitizer is not None
+        report = runner.sanitizer.report()
+        assert report["event"] > 0
+        assert report["reservation"] > 0
+        assert report["fabric"] > 0
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_sanitized_run_is_bit_identical(self, mode):
+        plain = ExperimentRunner(tiny_config(mode)).run()
+        sanitized = ExperimentRunner(tiny_config(mode, sanitize=True)).run()
+        assert plain.comm_metrics == sanitized.comm_metrics
+        assert plain.orchestration_extras == sanitized.orchestration_extras
+        for a, b in zip(plain.aggregators, sanitized.aggregators):
+            assert a.total_time == b.total_time
+            assert a.global_accuracy == b.global_accuracy
+            assert a.global_loss == b.global_loss
+            assert [r.sim_time for r in a.history] == [r.sim_time for r in b.history]
+
+    def test_sanitizer_works_under_fault_injection(self):
+        # Outage windows and failover re-aims exercise the fault-window and
+        # capacity checks against the real planner: still no false positives.
+        config = tiny_config(
+            sanitize=True,
+            replication_mode="lazy",
+            churn_rate=0.1,
+            replica_outages=1,
+            outage_duration_s=80.0,
+        )
+        runner = ExperimentRunner(config)
+        runner.run()
+        assert runner.sanitizer is not None
+        assert runner.sanitizer.checks["reservation"] > 0

@@ -150,24 +150,21 @@ class TestModeRoundTrips:
             assert len(aggregator.history) == 2
 
     def test_runner_and_cli_have_no_mode_ladder(self):
-        import ast
+        # The DET004 linter rule is the reusable form of what used to be a
+        # hand-rolled AST walk here: flagging literal mode comparisons
+        # outside the policy registry.  Invoking the rule keeps this test
+        # and ``repro lint`` incapable of drifting apart.
         import inspect
 
+        from repro.analysis import lint_paths
         from repro.core import runner as runner_module
         from repro import cli as cli_module
 
-        for module in (runner_module, cli_module):
-            tree = ast.parse(inspect.getsource(module))
-            for node in ast.walk(tree):
-                if not isinstance(node, ast.Compare):
-                    continue
-                names = [
-                    getattr(target, "id", getattr(target, "attr", ""))
-                    for target in [node.left, *node.comparators]
-                ]
-                assert "mode" not in names, (
-                    f"{module.__name__} still branches on a literal mode comparison"
-                )
+        files = [inspect.getsourcefile(module) for module in (runner_module, cli_module)]
+        report = lint_paths(files, codes=("DET004",))
+        assert not report.findings, "\n".join(
+            finding.render() for finding in report.findings
+        )
 
 
 class TestDegenerateBaselines:
