@@ -7,13 +7,21 @@ by bit-identity tests comparing whole result documents.  This package guards
 it at the *source*:
 
 * :mod:`repro.analysis.rules` / :mod:`repro.analysis.linter` — an AST-based
-  **determinism linter** (the ``repro lint`` CLI subcommand) with a rule
-  registry, per-rule codes (``DET001`` ... ``DET005``), inline
+  **static analyzer** (the ``repro lint`` CLI subcommand) with a rule
+  registry, per-rule codes in three families (``DET`` determinism, ``UNIT``
+  unit/dimension discipline, ``WIRE`` cross-layer wiring), family selectors
+  (``--select UNIT``), long-form rationales (``--explain CODE``), inline
   ``# detlint: ignore[RULE]`` suppressions and a checked-in baseline file
   for the findings that are individually justified.
+* :mod:`repro.analysis.project` — the **cross-layer pass**: rules with
+  ``scope="project"`` receive a :class:`~repro.analysis.project.ProjectContext`
+  spanning every scanned module and run once per ``lint_paths`` invocation,
+  so they can check invariants no single file contains (config↔CLI wiring,
+  summary↔CSV schema, registry-backed CLI choices).
 * :mod:`repro.analysis.baseline` — the baseline file format: findings are
   fingerprinted by ``(path, code, source line)`` so entries survive
-  unrelated line churn.
+  unrelated line churn; entries whose source line disappeared are **stale**
+  and fail the lint until pruned with ``--update-baseline``.
 * :mod:`repro.analysis.sanitizer` — a runtime **simulation sanitizer**
   (``ExperimentConfig(sanitize=True)`` / ``repro run --sanitize``): strictly
   read-only assertions hooked into the discrete-event kernel, the link
@@ -36,22 +44,47 @@ The linter rules:
             over ``set``/``frozenset`` values, ``sum`` over dict views
 ``DET004``  mode-string comparisons outside the round-policy registry
 ``DET005``  mutable default arguments
+``UNIT001``  arithmetic/comparisons mixing dimensions inferred from the
+             ``_s``/``_bytes``/``_mb``/``_mbytes_per_s``/... suffix
+             conventions without an explicit conversion
+``UNIT002``  magic unit-conversion constants (``1e6``, ``4e6``, ``20e6``)
+             outside :mod:`repro.simnet.units`
+``UNIT003``  reads of the deprecated ``*_mbps`` alias spelling
+``UNIT004``  suffixed names assigned/passed from names of a different (or
+             no) dimension without a conversion
+``WIRE001``  ``ExperimentConfig`` fields unreachable from any CLI
+             ``add_argument`` dest and unvalidated in ``__post_init__``
+             (cross-layer)
+``WIRE002``  stable ``CommFabric.summary`` keys missing from
+             ``_CSV_COLUMNS`` (modulo the ``_s`` suffix mapping) and not
+             explicitly exempted (cross-layer)
+``WIRE003``  registry-backed CLI options restating their ``choices`` as
+             literals instead of deriving them from the registry
 ========  =====================================================================
 """
 
 from repro.analysis.baseline import Baseline, load_baseline, save_baseline
 from repro.analysis.linter import Finding, LintReport, lint_paths, lint_source
-from repro.analysis.rules import Rule, all_rules, get_rule, register_rule
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules import (
+    Rule,
+    all_rules,
+    expand_selectors,
+    get_rule,
+    register_rule,
+)
 from repro.analysis.sanitizer import SanitizerViolation, SimulationSanitizer
 
 __all__ = [
     "Baseline",
     "Finding",
     "LintReport",
+    "ProjectContext",
     "Rule",
     "SanitizerViolation",
     "SimulationSanitizer",
     "all_rules",
+    "expand_selectors",
     "get_rule",
     "lint_paths",
     "lint_source",

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.linter import Finding
 
@@ -57,6 +57,64 @@ class Baseline:
             ):
                 return True
         return False
+
+    def note_for(self, finding: Finding) -> Optional[str]:
+        """The justification note of the entry matching ``finding``, if any."""
+        fingerprint = finding.fingerprint()
+        if fingerprint in self.entries:
+            return self.entries[fingerprint]
+        path, code, snippet = fingerprint
+        for (entry_path, entry_code, entry_snippet), note in self.entries.items():
+            if (
+                entry_code == code
+                and entry_snippet == snippet
+                and path.endswith("/" + entry_path)
+            ):
+                return note
+        return None
+
+    def stale_entries(self, paths: Iterable[Union[str, Path]]) -> List[dict]:
+        """Entries whose source line no longer exists anywhere in the scan.
+
+        Staleness is **line-presence** based, deliberately independent of
+        which rules a run selects: an entry is stale when its file is part
+        of the scan but no longer contains the snippet as a (stripped)
+        source line, or when its path falls under a scanned directory but
+        the file itself is gone.  Entries for files outside the scan are
+        never judged — linting one fixture must not condemn the rest of the
+        baseline.
+        """
+        from repro.analysis.linter import iter_python_files
+
+        scanned: Dict[str, Path] = {
+            str(file).replace("\\", "/"): file for file in iter_python_files(paths)
+        }
+        roots = [
+            str(Path(raw)).replace("\\", "/").rstrip("/")
+            for raw in paths
+            if Path(raw).is_dir()
+        ]
+        stale: List[dict] = []
+        for (path, code, snippet), note in sorted(self.entries.items()):
+            matches = [
+                file
+                for normalized, file in scanned.items()
+                if normalized == path or normalized.endswith("/" + path)
+            ]
+            if not matches:
+                deleted_under_scan = any(path.startswith(root + "/") for root in roots)
+                if deleted_under_scan:
+                    stale.append(
+                        {"path": path, "code": code, "snippet": snippet, "note": note}
+                    )
+                continue
+            alive = any(
+                snippet in (line.strip() for line in file.read_text(encoding="utf-8").splitlines())
+                for file in matches
+            )
+            if not alive:
+                stale.append({"path": path, "code": code, "snippet": snippet, "note": note})
+        return stale
 
     def add(self, finding: Finding, note: str) -> None:
         """Add one justified finding; the note is mandatory by construction."""

@@ -5,7 +5,8 @@ the linter, the baseline handling and the exit-code contract all live next
 to the rules they expose.
 
 Exit codes: ``0`` clean (nothing beyond suppressions and the baseline),
-``1`` findings surfaced, ``2`` a file failed to parse.
+``1`` findings surfaced or stale baseline entries, ``2`` a file failed to
+parse or an unknown rule code was named (``--select``/``--explain``).
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from typing import List, Optional
 
 from repro.analysis.baseline import Baseline, load_baseline, save_baseline
 from repro.analysis.linter import LintReport, lint_paths
-from repro.analysis.rules import all_rules
+from repro.analysis.rules import all_rules, expand_selectors, get_rule
 
 DEFAULT_LINT_PATHS = ["src/repro"]
 DEFAULT_BASELINE = "detlint.baseline.json"
@@ -26,12 +27,13 @@ def add_lint_parser(subparsers) -> argparse.ArgumentParser:
     """Register the ``lint`` subcommand on an existing subparser collection."""
     parser = subparsers.add_parser(
         "lint",
-        help="run the determinism linter (DET001-DET005) over simulation code",
+        help="run the static analyzer (DET/UNIT/WIRE rule families) over simulation code",
         description=(
             "Scan Python sources for constructs that break the repo's core "
-            "invariant: fixed seeds must produce bit-identical results. "
-            "Findings can be suppressed inline with '# detlint: ignore[CODE]' "
-            "or justified in a checked-in baseline file."
+            "invariants: determinism (DET), unit/dimension discipline (UNIT) "
+            "and cross-layer config/CLI/schema wiring (WIRE). Findings can "
+            "be suppressed inline with '# detlint: ignore[CODE]' or "
+            "justified in a checked-in baseline file."
         ),
     )
     parser.add_argument(
@@ -44,7 +46,16 @@ def add_lint_parser(subparsers) -> argparse.ArgumentParser:
         "--select",
         metavar="CODES",
         default=None,
-        help="comma-separated rule codes to run (default: all registered rules)",
+        help=(
+            "comma-separated rule codes or families to run — 'DET003', "
+            "'UNIT', 'DET,WIRE' (default: all registered rules)"
+        ),
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print the long-form rationale and fix guidance for one rule code, then exit",
     )
     parser.add_argument(
         "--baseline",
@@ -62,8 +73,10 @@ def add_lint_parser(subparsers) -> argparse.ArgumentParser:
         metavar="NOTE",
         default=None,
         help=(
-            "write every current finding into the baseline file with NOTE as "
-            "the justification, then exit 0 (review the diff before committing)"
+            "rewrite the baseline file: keep the existing notes of findings "
+            "that still match, record new findings with NOTE as the "
+            "justification, and prune stale entries; then exit 0 (review "
+            "the diff before committing)"
         ),
     )
     parser.add_argument(
@@ -86,7 +99,22 @@ def _print_rules() -> None:
         print(f"        {rule.summary}")
 
 
-def _report_json(report: LintReport) -> str:
+def _print_explain(code: str) -> int:
+    try:
+        rule = get_rule(code)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"{rule.code}  {rule.name}  [{rule.scope} scope]")
+    print(f"    {rule.summary}")
+    if rule.explain:
+        print()
+        for line in rule.explain.splitlines():
+            print(f"    {line}" if line else "")
+    return 0
+
+
+def _report_json(report: LintReport, stale: List[dict]) -> str:
     return json.dumps(
         {
             "findings": [
@@ -104,6 +132,7 @@ def _report_json(report: LintReport) -> str:
             "suppressed": report.suppressed,
             "baselined": report.baselined,
             "parse_errors": report.parse_errors,
+            "stale_baseline_entries": stale,
         },
         indent=2,
     )
@@ -114,10 +143,17 @@ def command_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_rules()
         return 0
+    if args.explain is not None:
+        return _print_explain(args.explain.strip())
 
     codes: Optional[List[str]] = None
     if args.select:
         codes = [code.strip() for code in args.select.split(",") if code.strip()]
+        try:
+            expand_selectors(codes)  # fail fast on unknown selectors
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
 
     baseline: Optional[Baseline] = None
     if not args.no_baseline and args.update_baseline is None:
@@ -126,27 +162,56 @@ def command_lint(args: argparse.Namespace) -> int:
     report = lint_paths(args.paths, codes=codes, baseline=baseline)
 
     if args.update_baseline is not None:
+        existing = load_baseline(args.baseline)
+        stale_keys = {
+            (entry["path"], entry["code"], entry["snippet"])
+            for entry in existing.stale_entries(args.paths)
+        }
         updated = Baseline()
-        updated.extend(report.findings, note=args.update_baseline)
+        for finding in report.findings:
+            # A finding already justified keeps its note; only genuinely new
+            # entries take the NOTE given on the command line.
+            updated.add(finding, note=existing.note_for(finding) or args.update_baseline)
+        # Entries outside this run's --select (or outside its paths) are
+        # still live justifications — carry them over unless their source
+        # line is gone.
+        for key, note in existing.entries.items():
+            if key not in stale_keys and key not in updated.entries:
+                updated.entries[key] = note
         save_baseline(updated, args.baseline)
-        print(f"wrote {len(updated)} entr{'y' if len(updated) == 1 else 'ies'} to {args.baseline}")
+        pruned = len([key for key in existing.entries if key in stale_keys])
+        print(
+            f"wrote {len(updated)} entr{'y' if len(updated) == 1 else 'ies'} "
+            f"to {args.baseline} ({pruned} stale pruned)"
+        )
         return 0
 
+    # A baseline entry whose source line no longer exists is a lie about the
+    # current tree: surface it and fail, exactly like a finding.
+    stale: List[dict] = baseline.stale_entries(args.paths) if baseline is not None else []
+
     if args.format == "json":
-        print(_report_json(report))
+        print(_report_json(report, stale))
     else:
         for finding in report.findings:
             print(finding.render())
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry['path']} {entry['code']} "
+                f"{entry['snippet']!r} — source line no longer exists "
+                "(prune with --update-baseline)"
+            )
         for error in report.parse_errors:
             print(f"parse error: {error}")
         tail = (
             f"{report.files_scanned} file(s) scanned, "
             f"{len(report.findings)} finding(s), "
             f"{report.suppressed} suppressed inline, "
-            f"{report.baselined} baselined"
+            f"{report.baselined} baselined, "
+            f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
         )
         print(tail)
 
     if report.parse_errors:
         return 2
-    return 0 if not report.findings else 1
+    return 0 if not report.findings and not stale else 1

@@ -92,11 +92,14 @@ def lint_source(
     path: str = "<string>",
     codes: Optional[Sequence[str]] = None,
 ) -> LintReport:
-    """Lint one module's source text.
+    """Lint one module's source text with the **module-scope** rules.
 
-    ``codes`` restricts the run to a subset of rule codes (any order); by
-    default every registered rule runs.  Inline suppressions are honoured;
-    baseline filtering is the caller's concern (see :func:`lint_paths`).
+    ``codes`` restricts the run to a subset of rule codes or families
+    (``["DET003"]``, ``["UNIT"]``, any order); by default every registered
+    module-scope rule runs.  Project-scope rules (the WIRE family) need the
+    whole scan and only run under :func:`lint_paths`.  Inline suppressions
+    are honoured; baseline filtering is the caller's concern (see
+    :func:`lint_paths`).
     """
     from repro.analysis import rules as _rules  # deferred: rules imports Finding
 
@@ -112,11 +115,9 @@ def lint_source(
     if skip_file:
         return report
 
-    selected = _rules.all_rules()
+    selected = [rule for rule in _rules.all_rules() if rule.scope == "module"]
     if codes is not None:
-        for code in codes:
-            _rules.get_rule(code)  # unknown codes raise rather than silently no-op
-        wanted = set(codes)
+        wanted = set(_rules.expand_selectors(codes))  # unknown selectors raise
         selected = [rule for rule in selected if rule.code in wanted]
 
     context = _rules.LintContext(
@@ -152,11 +153,50 @@ def lint_paths(
     codes: Optional[Sequence[str]] = None,
     baseline: Optional["Baseline"] = None,
 ) -> LintReport:
-    """Lint files and directories, filtering through an optional baseline."""
+    """Lint files and directories, filtering through an optional baseline.
+
+    Runs every selected module-scope rule per file, then the project-scope
+    rules (the cross-layer WIRE family) once over the whole scan.  Project
+    findings honour the same inline suppressions as module findings: a
+    ``# detlint: ignore[WIRE001]`` on the anchor line (or ``skip-file`` in
+    the anchor module) suppresses them.
+    """
+    from repro.analysis import rules as _rules  # deferred: rules imports Finding
+    from repro.analysis.project import ModuleInfo, ProjectContext
+
+    selected = None if codes is None else _rules.expand_selectors(codes)
     report = LintReport()
+    modules: List[ModuleInfo] = []
+    suppressions: Dict[str, Tuple[bool, Dict[int, Set[str]]]] = {}
     for file_path in iter_python_files(paths):
         source = file_path.read_text(encoding="utf-8")
-        report.extend(lint_source(source, path=str(file_path), codes=codes))
+        path = str(file_path)
+        report.extend(lint_source(source, path=path, codes=selected))
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue  # already recorded as a parse error by lint_source
+        lines = tuple(source.splitlines())
+        normalized = path.replace("\\", "/")
+        modules.append(ModuleInfo(path=normalized, tree=tree, lines=lines))
+        suppressions[normalized] = _inline_suppressions(lines)
+
+    project_rules = [
+        rule
+        for rule in _rules.all_rules()
+        if rule.scope == "project" and (selected is None or rule.code in selected)
+    ]
+    if project_rules and modules:
+        project = ProjectContext(modules=modules)
+        for rule in project_rules:
+            for finding in rule.check(project):
+                skip_file, per_line = suppressions.get(finding.path, (False, {}))
+                if skip_file or finding.code in per_line.get(finding.line, set()):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+        report.findings.sort()
+
     if baseline is not None:
         kept: List[Finding] = []
         for finding in report.findings:

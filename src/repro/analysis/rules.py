@@ -102,12 +102,22 @@ def _build_import_map(tree: ast.AST) -> Dict[str, str]:
 
 @dataclass(frozen=True)
 class Rule:
-    """One registered determinism rule."""
+    """One registered lint rule.
+
+    ``scope`` is ``"module"`` for per-file AST rules (``check`` receives a
+    :class:`LintContext`) or ``"project"`` for whole-program rules run once
+    per lint invocation (``check`` receives a
+    :class:`repro.analysis.project.ProjectContext` spanning every scanned
+    module).  ``explain`` is the long-form text ``repro lint --explain CODE``
+    prints: what the rule guards, why it matters here, and how to fix a hit.
+    """
 
     code: str
     name: str
     summary: str
-    check: Callable[[LintContext], List[Finding]]
+    check: Callable[..., List[Finding]]
+    explain: str = ""
+    scope: str = "module"
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -138,6 +148,31 @@ def get_rule(code: str) -> Rule:
 def all_rules() -> List[Rule]:
     """Every registered rule, in registration order."""
     return list(_REGISTRY.values())
+
+
+def expand_selectors(selectors: Sequence[str]) -> List[str]:
+    """Expand ``--select`` entries into concrete rule codes.
+
+    A selector is either an exact code (``DET001``) or a **family prefix**
+    (``DET``, ``UNIT``, ``WIRE``) selecting every registered code that
+    starts with it.  Unknown selectors raise rather than silently no-op.
+    """
+    codes: List[str] = []
+    for raw in selectors:
+        selector = raw.strip()
+        if not selector:
+            continue
+        if selector in _REGISTRY:
+            codes.append(selector)
+            continue
+        family = [code for code in _REGISTRY if selector.isalpha() and code.startswith(selector)]
+        if not family:
+            known = ", ".join(f"'{code}'" for code in _REGISTRY)
+            raise ValueError(
+                f"unknown rule or family '{selector}'; registered rules: {known}"
+            )
+        codes.extend(family)
+    return codes
 
 
 # --------------------------------------------------------------------- DET001
@@ -413,6 +448,219 @@ def _check_mutable_defaults(ctx: LintContext) -> List[Finding]:
     return findings
 
 
+# ----------------------------------------------------------------- UNIT rules
+#: suffix → dimension, longest suffix first so ``_bytes_per_s`` wins over
+#: ``_s`` and ``_mbytes_per_s`` over ``_bytes_per_s``.  ``_mbps`` is the
+#: deprecated alias spelling of megabytes/s (UNIT003 bans reading it; the
+#: dimension is still tracked so mixed arithmetic is caught either way).
+UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_mbytes_per_s", "megabytes/s"),
+    ("_bytes_per_s", "bytes/s"),
+    ("_mbps", "megabytes/s"),
+    ("_bytes", "bytes"),
+    ("_mb", "megabytes"),
+    ("_count", "count"),
+    ("_s", "seconds"),
+)
+
+#: the one module allowed to hold raw conversion constants.
+UNITS_MODULES = ("simnet/units.py",)
+
+#: conversion-constant literals banned outside :data:`UNITS_MODULES`: the
+#: MB scale and the hand-folded bandwidth multiples the timing model used.
+CONVERSION_LITERALS = (1e6, 4e6, 20e6)
+
+
+def infer_unit(name: str) -> Optional[str]:
+    """Dimension a ``name`` carries by suffix convention, or ``None``."""
+    for suffix, dimension in UNIT_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return dimension
+    return None
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    """Inferred dimension of a Name/Attribute leaf; ``None`` for anything else.
+
+    Only identifier leaves are inferred — a call or arithmetic expression has
+    an unknown dimension, so explicit conversions (``units.bytes_over_bandwidth``)
+    naturally silence the mixing rules.
+    """
+    if isinstance(node, ast.Name):
+        return infer_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return infer_unit(node.attr)
+    return None
+
+
+def _check_unit_mixing(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = _unit_of(node.left), _unit_of(node.right)
+            if left is not None and right is not None and left != right:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "UNIT001",
+                        f"arithmetic mixes units: {left} {op} {right} without an "
+                        "explicit conversion (use a repro.simnet.units helper)",
+                    )
+                )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            left, right = _unit_of(node.left), _unit_of(node.right)
+            if left == "bytes" and right in ("megabytes/s",):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "UNIT001",
+                        "bytes divided by a megabytes/s bandwidth yields "
+                        "microseconds-off seconds; convert with "
+                        "repro.simnet.units.bytes_over_bandwidth (or "
+                        "mbytes_per_s_to_bytes_per_s)",
+                    )
+                )
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left, right = _unit_of(node.left), _unit_of(node.comparators[0])
+            if left is not None and right is not None and left != right:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "UNIT001",
+                        f"comparison mixes units: {left} vs {right} — convert "
+                        "one side explicitly via repro.simnet.units",
+                    )
+                )
+    return findings
+
+
+def _is_conversion_literal(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return float(value) in CONVERSION_LITERALS
+
+
+def _check_conversion_literals(ctx: LintContext) -> List[Finding]:
+    if ctx.in_module(*UNITS_MODULES):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        # Only arithmetic *uses* are conversions — a bare default such as
+        # ``gas_limit: int = 1_000_000`` is a count that merely collides
+        # with the MB scale numerically.
+        if not isinstance(node, ast.BinOp) or not isinstance(node.op, (ast.Mult, ast.Div)):
+            continue
+        for operand in (node.left, node.right):
+            if _is_conversion_literal(operand):
+                findings.append(
+                    ctx.finding(
+                        operand,
+                        "UNIT002",
+                        f"magic unit-conversion constant {operand.value!r}: "
+                        "conversions belong in repro.simnet.units (MB, "
+                        "bytes_over_bandwidth, bytes_over_scaled_bandwidth, ...)",
+                    )
+                )
+    return findings
+
+
+def _check_deprecated_alias(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            # Only *reads* are uses; the Store contexts are the shim
+            # definitions themselves (the deprecated dataclass field, the
+            # alias property) which have to keep the old spelling.
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            name = node.id if isinstance(node, ast.Name) else node.attr
+            if name.endswith("_mbps"):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "UNIT003",
+                        f"'{name}' is a deprecated megabits-looking alias (the "
+                        "unit is megabytes/s); read the *_mbytes_per_s field "
+                        "instead",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is not None and keyword.arg.endswith("_mbps"):
+                    findings.append(
+                        ctx.finding(
+                            keyword.value,
+                            "UNIT003",
+                            f"keyword '{keyword.arg}' passes through the "
+                            "deprecated alias; use the *_mbytes_per_s "
+                            "parameter instead",
+                        )
+                    )
+    return findings
+
+
+def _unit004_finding(ctx: LintContext, node: ast.AST, target_name: str, value: ast.AST):
+    target_unit = infer_unit(target_name)
+    if target_unit is None:
+        return None
+    if not isinstance(value, (ast.Name, ast.Attribute)):
+        return None  # calls/arithmetic are explicit enough (conversions live there)
+    value_name = value.id if isinstance(value, ast.Name) else value.attr
+    value_unit = infer_unit(value_name)
+    if value_unit == target_unit:
+        return None
+    if value_unit is None:
+        message = (
+            f"'{target_name}' ({target_unit}) is assigned from the "
+            f"unsuffixed name '{value_name}'; carry the unit suffix through "
+            "(or convert explicitly via repro.simnet.units)"
+        )
+    else:
+        message = (
+            f"'{target_name}' ({target_unit}) is assigned from "
+            f"'{value_name}' ({value_unit}) without a conversion"
+        )
+    return ctx.finding(node, "UNIT004", message)
+
+
+def _check_suffix_assignment(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name is not None:
+                finding = _unit004_finding(ctx, node, name, node.value)
+                if finding is not None:
+                    findings.append(finding)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, (ast.Name, ast.Attribute)):
+                name = (
+                    node.target.id
+                    if isinstance(node.target, ast.Name)
+                    else node.target.attr
+                )
+                finding = _unit004_finding(ctx, node, name, node.value)
+                if finding is not None:
+                    findings.append(finding)
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                finding = _unit004_finding(ctx, keyword.value, keyword.arg, keyword.value)
+                if finding is not None:
+                    findings.append(finding)
+    return findings
+
+
 # ---------------------------------------------------------------- registration
 register_rule(
     Rule(
@@ -424,6 +672,19 @@ register_rule(
             "clocks are allowed only in repro.perf"
         ),
         check=_check_wall_clock,
+        explain=(
+            "Simulated experiments must be a pure function of their seed. A "
+            "wall-clock read (time.time, datetime.now) or an entropy read "
+            "(os.urandom, uuid.uuid4, secrets.*) injects host state into the "
+            "timeline, so the same seed stops producing the same result.\n\n"
+            "Fix: take time from the simulation clock (SimClock.now) and "
+            "randomness from an explicitly seeded numpy Generator. The "
+            "counter clocks (time.perf_counter, time.monotonic) are allowed "
+            "only in repro/perf.py, the measurement harness.\n\n"
+            "    import time\n"
+            "    stamp = time.time()          # DET001\n"
+            "    stamp = clock.now()          # clean"
+        ),
     )
 )
 register_rule(
@@ -436,6 +697,18 @@ register_rule(
             "(module-level random.* / np.random.*)"
         ),
         check=_check_unseeded_rng,
+        explain=(
+            "An RNG constructed without a seed (random.Random(), "
+            "np.random.default_rng()) seeds itself from the OS, and the "
+            "module-level random.*/np.random.* functions draw from the "
+            "ambient process-global stream any other code may also have "
+            "advanced. Either way the draws stop being a function of the "
+            "experiment seed.\n\n"
+            "Fix: thread an explicit integer seed or an already-seeded "
+            "Generator through to wherever randomness is consumed.\n\n"
+            "    rng = np.random.default_rng()      # DET002\n"
+            "    rng = np.random.default_rng(seed)  # clean"
+        ),
     )
 )
 register_rule(
@@ -448,6 +721,17 @@ register_rule(
             "leaks into float accumulation and event ordering"
         ),
         check=_check_order_dependence,
+        explain=(
+            "Set iteration order depends on PYTHONHASHSEED, and dict-view "
+            "iteration order is the dict's insertion history — both are "
+            "implicit invariants. Feeding either into float accumulation "
+            "(sum) or tie-breaking (min/max) makes the result depend on "
+            "that hidden order.\n\n"
+            "Fix: sort before aggregating. Integer sums are order-exact and "
+            "may be suppressed inline with a justification:\n\n"
+            "    total = sum(w.values())          # DET003\n"
+            "    total = sum(w[k] for k in sorted(w))  # clean"
+        ),
     )
 )
 register_rule(
@@ -460,6 +744,16 @@ register_rule(
             "policy registry"
         ),
         check=_check_mode_comparison,
+        explain=(
+            "Per-mode behaviour must derive from the round-policy registry "
+            "(repro.sched.registry): a mode-string if-ladder anywhere else "
+            "is a parallel dispatch table that silently misses newly "
+            "registered modes.\n\n"
+            "Fix: put the behaviour on the registered PolicySpec (a flag on "
+            "ContractProfile, a factory, a validate hook) and look it up:\n\n"
+            "    if config.mode == 'sync': ...            # DET004\n"
+            "    get_policy(config.mode).profile.phase_gated  # clean"
+        ),
     )
 )
 register_rule(
@@ -468,5 +762,109 @@ register_rule(
         name="mutable-default-argument",
         summary="mutable default arguments leak state across calls and runs",
         check=_check_mutable_defaults,
+        explain=(
+            "A mutable default (def f(x=[])) is constructed once at import "
+            "and shared by every call — state leaks across calls and "
+            "therefore across experiments in the same process.\n\n"
+            "Fix: default to None and construct inside the body:\n\n"
+            "    def f(x=[]): ...                 # DET005\n"
+            "    def f(x=None):\n"
+            "        x = [] if x is None else x   # clean"
+        ),
     )
 )
+register_rule(
+    Rule(
+        code="UNIT001",
+        name="mixed-unit-arithmetic",
+        summary=(
+            "arithmetic or comparisons mixing suffix-inferred units "
+            "(seconds + bytes, bytes / megabytes-per-s) without an explicit "
+            "repro.simnet.units conversion"
+        ),
+        check=_check_unit_mixing,
+        explain=(
+            "Names carry their unit as a suffix (_s, _bytes, _mb, "
+            "_mbytes_per_s, _bytes_per_s, _count). Adding, subtracting or "
+            "comparing two names whose inferred units differ is almost "
+            "always a missing conversion; dividing bytes by a megabytes/s "
+            "bandwidth is the exact 1e6-off trap behind the old "
+            "bandwidth_mbps bug.\n\n"
+            "Fix: convert through repro.simnet.units so the conversion is "
+            "named and single-sourced:\n\n"
+            "    wait = size_bytes / link_mbytes_per_s          # UNIT001\n"
+            "    wait = units.bytes_over_bandwidth(size_bytes, link_mbytes_per_s)"
+        ),
+    )
+)
+register_rule(
+    Rule(
+        code="UNIT002",
+        name="magic-conversion-constant",
+        summary=(
+            "raw unit-conversion literals (1e6, 4e6, 20e6, 1_000_000) "
+            "outside repro/simnet/units.py"
+        ),
+        check=_check_conversion_literals,
+        explain=(
+            "The byte/megabyte scale and its hand-folded multiples used to "
+            "live inline (1_000_000 in hardware.py and runner.py, 4e6/20e6 "
+            "in timing.py), so nothing connected them and nothing could "
+            "check them. They now live once, in repro.simnet.units, whose "
+            "helpers are pinned bit-identical to the literals they "
+            "replaced.\n\n"
+            "    rate = bw * 1_000_000                          # UNIT002\n"
+            "    rate = units.mbytes_per_s_to_bytes_per_s(bw)   # clean"
+        ),
+    )
+)
+register_rule(
+    Rule(
+        code="UNIT003",
+        name="deprecated-mbps-alias",
+        summary=(
+            "reads of the deprecated *_mbps aliases (bandwidth_mbps, "
+            "link_bandwidth_mbps) inside src/repro"
+        ),
+        check=_check_deprecated_alias,
+        explain=(
+            "The *_mbps names always held mega**bytes**/s — the PR 3 units "
+            "trap. They survive only as deprecated read aliases for "
+            "downstream users; first-party code must not read or pass them, "
+            "or the DeprecationWarning churn hides real warnings and the "
+            "trap stays live.\n\n"
+            "Fix: read the *_mbytes_per_s field. The alias shims themselves "
+            "carry inline '# detlint: ignore[UNIT003]' markers — the only "
+            "two justified reads in the tree.\n\n"
+            "    bw = profile.bandwidth_mbps           # UNIT003\n"
+            "    bw = profile.bandwidth_mbytes_per_s   # clean"
+        ),
+    )
+)
+register_rule(
+    Rule(
+        code="UNIT004",
+        name="suffix-dropped-assignment",
+        summary=(
+            "unit-suffixed targets (assignments and keyword arguments) "
+            "bound to a bare name without that unit suffix"
+        ),
+        check=_check_suffix_assignment,
+        explain=(
+            "A unit-suffixed name bound straight from a suffix-less name "
+            "drops the unit from the data flow: two hops later nobody knows "
+            "whether 'latency' was seconds or milliseconds. Calls and "
+            "arithmetic are exempt — an explicit conversion is exactly "
+            "where a unit legitimately changes spelling.\n\n"
+            "Fix: carry the suffix through the intermediate names, or "
+            "convert explicitly:\n\n"
+            "    NetworkLink(latency_s=latency)     # UNIT004\n"
+            "    NetworkLink(latency_s=latency_s)   # clean"
+        ),
+    )
+)
+
+# The WIRE cross-layer rules live next to the whole-program pass; importing
+# the module here keeps the registry complete whenever any rule is consulted
+# (the import sits after every name it needs is defined).
+from repro.analysis import project as _project  # noqa: E402,F401

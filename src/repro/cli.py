@@ -54,7 +54,9 @@ from repro.core.results import (
     format_run_table,
 )
 from repro.core.runner import ExperimentRunner
+from repro.sched.actors import REPLICA_SELECTIONS
 from repro.sched.registry import get_policy, registered_modes
+from repro.simnet.replication import REPLICATION_MODES
 
 
 def _build_workload(args: argparse.Namespace):
@@ -97,32 +99,35 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         scoring_algorithm=args.scoring,
         rounds=args.rounds,
         seed=args.seed,
+        phase_duration=args.phase_duration,
         semi_quorum_k=args.semi_quorum_k,
         max_staleness=args.max_staleness,
         local_rounds_per_global=args.local_rounds_per_global,
         round_budget=args.round_budget,
         gossip_fanout=args.gossip_fanout,
+        block_period=args.block_period,
+        monitor_resources=args.monitor_resources,
         event_streams=args.event_streams,
-        link_bandwidth_mbytes_per_s=args.link_bandwidth,
-        link_latency_s=args.link_latency,
+        link_bandwidth_mbytes_per_s=args.link_bandwidth_mbytes_per_s,
+        link_latency_s=args.link_latency_s,
         block_interval=args.block_interval,
         storage_replicas=args.storage_replicas,
         replica_capacity=args.replica_capacity,
         replica_selection=args.replica_selection,
         replication_mode=args.replication_mode,
-        wan_latency_s=args.wan_latency,
-        wan_bandwidth_mbytes_per_s=args.wan_bandwidth,
+        wan_latency_s=args.wan_latency_s,
+        wan_bandwidth_mbytes_per_s=args.wan_bandwidth_mbytes_per_s,
         churn_rate=args.churn_rate,
         replica_outages=args.replica_outages,
-        outage_duration_s=args.outage_duration,
+        outage_duration_s=args.outage_duration_s,
         wan_partitions=args.wan_partitions,
-        partition_duration_s=args.partition_duration,
+        partition_duration_s=args.partition_duration_s,
         fault_seed=args.fault_seed,
         retry_max=args.retry_max,
-        backoff_base_s=args.backoff_base,
+        backoff_base_s=args.backoff_base_s,
         backoff_jitter=args.backoff_jitter,
         breaker_threshold=args.breaker_threshold,
-        breaker_cooldown_s=args.breaker_cooldown,
+        breaker_cooldown_s=args.breaker_cooldown_s,
         sanitize=args.sanitize,
     )
 
@@ -144,6 +149,22 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-classes", type=int, default=10, dest="num_classes")
     parser.add_argument("--learning-rate", type=float, default=0.05, dest="learning_rate")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--phase-duration", type=float, default=None, dest="phase_duration",
+        help="sync mode: fixed per-phase duration in simulated seconds "
+        "(default: adaptive — the orchestrator waits for the slowest aggregator)",
+    )
+    parser.add_argument(
+        "--block-period", type=float, default=2.0, dest="block_period",
+        help="simulated seconds between chain blocks in the constant-cost "
+        "timing model (event streams use --block-interval)",
+    )
+    parser.add_argument(
+        "--monitor-resources", action=argparse.BooleanOptionalAction,
+        dest="monitor_resources", default=True,
+        help="sample resource usage for the Table-7-style overhead report "
+        "(disable with --no-monitor-resources)",
+    )
     parser.add_argument(
         "--semi-quorum-k", type=int, default=None, dest="semi_quorum_k",
         help="semi mode: clusters that must submit before a round closes (default: majority)",
@@ -175,12 +196,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "disable with --no-event-streams for the constant-cost timing model",
     )
     parser.add_argument(
-        "--link-bandwidth", type=float, default=None, dest="link_bandwidth",
+        "--link-bandwidth", type=float, default=None, dest="link_bandwidth_mbytes_per_s",
         help="event streams: cap each cluster's storage link at this many megabytes "
         "(not megabits) per simulated second (default: the hardware profile's bandwidth)",
     )
     parser.add_argument(
-        "--link-latency", type=float, default=None, dest="link_latency",
+        "--link-latency", type=float, default=None, dest="link_latency_s",
         help="event streams: override the one-way storage-link latency in seconds",
     )
     parser.add_argument(
@@ -198,13 +219,13 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="event streams: parallel transfers each storage replica serves at once",
     )
     parser.add_argument(
-        "--replica-selection", choices=["affinity", "least-loaded"], default="affinity",
+        "--replica-selection", choices=list(REPLICA_SELECTIONS), default="affinity",
         dest="replica_selection",
         help="event streams: replica picked per transfer — the cluster's own site "
         "(affinity) or the deterministically least-loaded one",
     )
     parser.add_argument(
-        "--replication-mode", choices=["eager", "lazy", "none"], default="eager",
+        "--replication-mode", choices=list(REPLICATION_MODES), default="eager",
         dest="replication_mode",
         help="event streams: how uploads reach the other storage replicas — pushed "
         "to every peer right after the upload (eager), fetched on demand when a "
@@ -212,12 +233,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "origin replica)",
     )
     parser.add_argument(
-        "--wan-latency", type=float, default=0.05, dest="wan_latency",
+        "--wan-latency", type=float, default=0.05, dest="wan_latency_s",
         help="event streams: one-way latency of the WAN link between replica sites, "
         "in seconds",
     )
     parser.add_argument(
-        "--wan-bandwidth", type=float, default=50.0, dest="wan_bandwidth",
+        "--wan-bandwidth", type=float, default=50.0, dest="wan_bandwidth_mbytes_per_s",
         help="event streams: bandwidth of the WAN link between replica sites, in "
         "megabytes (not megabits) per simulated second",
     )
@@ -232,7 +253,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "dealt round-robin over the replicas at seeded start times",
     )
     parser.add_argument(
-        "--outage-duration", type=float, default=60.0, dest="outage_duration",
+        "--outage-duration", type=float, default=60.0, dest="outage_duration_s",
         help="fault injection: simulated seconds one replica outage lasts before "
         "its scheduled recovery",
     )
@@ -242,7 +263,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "between replica sites (needs --storage-replicas >= 2)",
     )
     parser.add_argument(
-        "--partition-duration", type=float, default=60.0, dest="partition_duration",
+        "--partition-duration", type=float, default=60.0, dest="partition_duration_s",
         help="fault injection: simulated seconds one WAN partition lasts before healing",
     )
     parser.add_argument(
@@ -256,7 +277,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "transfers wait out faults on the link schedule)",
     )
     parser.add_argument(
-        "--backoff-base", type=float, default=0.5, dest="backoff_base",
+        "--backoff-base", type=float, default=0.5, dest="backoff_base_s",
         help="resilience: first backoff wait in simulated seconds (attempt n "
         "waits backoff-base * 2**n, plus jitter)",
     )
@@ -271,7 +292,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "breaker open",
     )
     parser.add_argument(
-        "--breaker-cooldown", type=float, default=60.0, dest="breaker_cooldown",
+        "--breaker-cooldown", type=float, default=60.0, dest="breaker_cooldown_s",
         help="resilience: simulated seconds an open breaker fails fast before "
         "admitting one half-open trial",
     )

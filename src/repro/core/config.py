@@ -13,7 +13,9 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.sched.actors import REPLICA_SELECTIONS
 from repro.sched.registry import validate_mode_config
+from repro.simnet.replication import REPLICATION_MODES
 from repro.simnet.hardware import (
     DOCKER_CONTAINER,
     EDGE_CPU_NODE,
@@ -317,7 +319,7 @@ class ExperimentConfig:
             raise ValueError("round_budget must be at least 1 when set")
         if self.gossip_fanout < 0:
             raise ValueError("gossip_fanout must be non-negative")
-        if self.link_bandwidth_mbps is not None:
+        if self.link_bandwidth_mbps is not None:  # detlint: ignore[UNIT003] (alias shim)
             warnings.warn(
                 "link_bandwidth_mbps is deprecated (the unit is megabytes/s); "
                 "use link_bandwidth_mbytes_per_s",
@@ -325,7 +327,7 @@ class ExperimentConfig:
                 stacklevel=2,
             )
             if self.link_bandwidth_mbytes_per_s is None:
-                self.link_bandwidth_mbytes_per_s = self.link_bandwidth_mbps
+                self.link_bandwidth_mbytes_per_s = self.link_bandwidth_mbps  # detlint: ignore[UNIT003]
         if self.link_bandwidth_mbytes_per_s is not None and self.link_bandwidth_mbytes_per_s <= 0:
             raise ValueError("link_bandwidth_mbytes_per_s must be positive when set")
         if self.link_latency_s is not None and self.link_latency_s < 0:
@@ -336,10 +338,10 @@ class ExperimentConfig:
             raise ValueError("storage_replicas must be at least 1")
         if self.replica_capacity < 1:
             raise ValueError("replica_capacity must be at least 1")
-        if self.replica_selection not in ("affinity", "least-loaded"):
-            raise ValueError("replica_selection must be 'affinity' or 'least-loaded'")
-        if self.replication_mode not in ("eager", "lazy", "none"):
-            raise ValueError("replication_mode must be 'eager', 'lazy' or 'none'")
+        if self.replica_selection not in REPLICA_SELECTIONS:
+            raise ValueError(f"replica_selection must be one of {REPLICA_SELECTIONS}")
+        if self.replication_mode not in REPLICATION_MODES:
+            raise ValueError(f"replication_mode must be one of {REPLICATION_MODES}")
         if self.wan_latency_s < 0:
             raise ValueError("wan_latency_s must be non-negative")
         if self.wan_bandwidth_mbytes_per_s <= 0:

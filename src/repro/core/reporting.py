@@ -152,6 +152,42 @@ _CSV_COLUMNS = [
     "dropped_clients",
 ]
 
+#: Stable ``CommFabric.summary`` keys deliberately *not* exported as CSV
+#: columns.  The ``WIRE002`` cross-layer lint rule requires every stable
+#: summary key to appear in :data:`_CSV_COLUMNS` (directly or via the
+#: ``_s``-suffix mapping, e.g. ``chain_wait`` -> ``chain_wait_s``) or in
+#: this reviewed list — adding a summary total silently absent from both is
+#: a lint failure, so the CSV schema can no longer drift by accident.
+_CSV_EXEMPT_SUMMARY_KEYS = frozenset(
+    {
+        # Per-phase upload/download splits: the CSV carries the aggregate
+        # network totals (network_queued_s) plus the phases that distinguish
+        # topologies (replication_*, exchange_*); the full split lives in the
+        # JSON document's comm_metrics.
+        "upload_time",
+        "upload_queued",
+        "upload_count",
+        "download_time",
+        "download_queued",
+        "download_count",
+        "exchange_queued",
+        # Run configuration echoes and engine counters, not per-run costs.
+        "storage_replicas",
+        "network_time",
+        "chain_ops",
+        "chain_blocks_spanned",
+        "chain_blocks_observed",
+        "chain_transactions_observed",
+        # Resilience detail beyond the four headline columns (retries,
+        # breaker_open_s, failovers, dropped_clients); kept JSON-only.
+        "backoff_wait_s",
+        "breaker_trips",
+        "breaker_fast_fails",
+        "fault_outage_s",
+        "fault_partition_s",
+    }
+)
+
 
 def save_results_csv(results: Iterable[ExperimentResult], path: PathLike) -> Path:
     """Write one CSV row per aggregator across several experiments."""

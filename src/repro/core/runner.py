@@ -239,9 +239,9 @@ class ExperimentRunner:
         if not config.event_streams:
             return None
         topology = Topology(
-            default_wan_link=NetworkLink(
+            default_wan_link=NetworkLink.from_mbytes_per_s(
                 latency_s=config.wan_latency_s,
-                bandwidth_bytes_per_s=config.wan_bandwidth_mbytes_per_s * 1_000_000,
+                bandwidth_mbytes_per_s=config.wan_bandwidth_mbytes_per_s,
             )
         )
         num_replicas = config.storage_replicas
@@ -250,16 +250,19 @@ class ExperimentRunner:
             topology.add_replica(name, capacity=config.replica_capacity)
         for i, cluster in enumerate(config.clusters):
             profile = cluster.aggregator_profile
-            bandwidth = profile.bandwidth_mbytes_per_s
+            bandwidth_mbytes_per_s = profile.bandwidth_mbytes_per_s
             if config.link_bandwidth_mbytes_per_s is not None:
-                bandwidth = min(bandwidth, config.link_bandwidth_mbytes_per_s)
-            latency = profile.latency_s
+                bandwidth_mbytes_per_s = min(bandwidth_mbytes_per_s, config.link_bandwidth_mbytes_per_s)
+            latency_s = profile.latency_s
             if config.link_latency_s is not None:
-                latency = config.link_latency_s
+                latency_s = config.link_latency_s
             topology.add_cluster(
                 cluster.name,
                 replica_names[i % num_replicas],
-                NetworkLink(latency_s=latency, bandwidth_bytes_per_s=bandwidth * 1_000_000),
+                NetworkLink.from_mbytes_per_s(
+                    latency_s=latency_s,
+                    bandwidth_mbytes_per_s=bandwidth_mbytes_per_s,
+                ),
             )
         network_actor = NetworkActor(
             topology=topology,

@@ -19,6 +19,7 @@ import numpy as np
 from repro.chain.clique import TX_VALIDATION_COST_S
 from repro.core.config import ClusterConfig, WorkloadConfig
 from repro.simnet.hardware import HardwareProfile
+from repro.simnet.units import bytes_over_scaled_bandwidth, float32_model_bytes
 
 
 @dataclass
@@ -60,6 +61,13 @@ class ClusterTimingModel:
 
     #: fraction of a training pass that one evaluation pass costs.
     EVAL_COST_RATIO = 0.3
+    #: weight averaging is memory-bound: it streams weights at a multiple of
+    #: the node's *network* bandwidth (the profile attribute that tracks the
+    #: device class's overall I/O capability).
+    MEMORY_BANDWIDTH_SCALE = 4
+    #: similarity scoring (MultiKRUM / cosine) streams flattened weights even
+    #: faster — pairwise dot products, no optimiser state.
+    SIMILARITY_BANDWIDTH_SCALE = 20
     #: multiplicative log-normal jitter applied to training times (systems noise).
     JITTER_SIGMA = 0.10
 
@@ -72,7 +80,7 @@ class ClusterTimingModel:
     @property
     def nominal_model_bytes(self) -> int:
         """Serialized size of the paper's full-scale model (float32 weights)."""
-        return int(self.workload.reference_parameters * 4)
+        return float32_model_bytes(self.workload.reference_parameters)
 
     @property
     def compute_scale(self) -> float:
@@ -103,7 +111,11 @@ class ClusterTimingModel:
 
     def aggregation_time(self, cluster: ClusterConfig, num_models: int) -> float:
         """Time for the aggregator to average ``num_models`` weight sets."""
-        per_model = self.nominal_model_bytes / (cluster.aggregator_profile.bandwidth_mbytes_per_s * 4e6)
+        per_model = bytes_over_scaled_bandwidth(
+            self.nominal_model_bytes,
+            cluster.aggregator_profile.bandwidth_mbytes_per_s,
+            self.MEMORY_BANDWIDTH_SCALE,
+        )
         return 0.2 + max(0, num_models) * max(per_model, 0.05)
 
     def transfer_time(self, profile: HardwareProfile, num_models: int = 1) -> float:
@@ -120,7 +132,11 @@ class ClusterTimingModel:
             return 0.0
         if algorithm in ("multikrum", "cosine"):
             # Similarity computation over flattened weights: cheap, bandwidth-bound.
-            per_model = self.nominal_model_bytes / (cluster.aggregator_profile.bandwidth_mbytes_per_s * 20e6)
+            per_model = bytes_over_scaled_bandwidth(
+                self.nominal_model_bytes,
+                cluster.aggregator_profile.bandwidth_mbytes_per_s,
+                self.SIMILARITY_BANDWIDTH_SCALE,
+            )
             return num_models * max(per_model, 0.05)
         test_samples = self.workload.nominal_test_samples
         per_model = (

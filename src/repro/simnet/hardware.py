@@ -20,6 +20,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.simnet.units import bytes_over_bandwidth
+
 
 @dataclass(frozen=True)
 class HardwareProfile:
@@ -71,7 +73,7 @@ class HardwareProfile:
         """Simulated seconds to move ``num_bytes`` to or from this device."""
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
-        return self.latency_s + num_bytes / (self.bandwidth_mbytes_per_s * 1_000_000)
+        return self.latency_s + bytes_over_bandwidth(num_bytes, self.bandwidth_mbytes_per_s)
 
 
 #: GPU workstation node from the paper's GPU cluster.

@@ -27,6 +27,7 @@ from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
 from .faults import merge_windows
+from .units import mbytes_per_s_to_bytes_per_s
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,14 @@ class NetworkLink:
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
         return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+    @classmethod
+    def from_mbytes_per_s(cls, latency_s: float, bandwidth_mbytes_per_s: float) -> "NetworkLink":
+        """Build a link from a megabytes/s bandwidth (config and profile units)."""
+        return cls(
+            latency_s=latency_s,
+            bandwidth_bytes_per_s=mbytes_per_s_to_bytes_per_s(bandwidth_mbytes_per_s),
+        )
 
 
 class NetworkModel:
@@ -754,13 +763,13 @@ class Topology:
         """
         lan_a, lan_b = self._lan[cluster_a], self._lan[cluster_b]
         home_a, home_b = self._home[cluster_a], self._home[cluster_b]
-        latency = lan_a.latency_s + lan_b.latency_s
-        bandwidth = min(lan_a.bandwidth_bytes_per_s, lan_b.bandwidth_bytes_per_s)
+        latency_s = lan_a.latency_s + lan_b.latency_s
+        bandwidth_bytes_per_s = min(lan_a.bandwidth_bytes_per_s, lan_b.bandwidth_bytes_per_s)
         if home_a != home_b:
             wan = self.wan_link(home_a, home_b)
-            latency += wan.latency_s
-            bandwidth = min(bandwidth, wan.bandwidth_bytes_per_s)
-        return NetworkLink(latency_s=latency, bandwidth_bytes_per_s=bandwidth)
+            latency_s += wan.latency_s
+            bandwidth_bytes_per_s = min(bandwidth_bytes_per_s, wan.bandwidth_bytes_per_s)
+        return NetworkLink(latency_s=latency_s, bandwidth_bytes_per_s=bandwidth_bytes_per_s)
 
     # -------------------------------------------------------------- materialise
     def build_network(self) -> NetworkModel:

@@ -1,0 +1,69 @@
+"""Central unit conversions for the simulation's physical quantities.
+
+The repo's worst historical bugs were unit drift, not logic: the
+``bandwidth_mbps`` trap (a value that silently meant mega**bytes**/s), and
+magic conversion constants (``4e6``, ``20e6``, ``1_000_000``) scattered
+through the timing and topology builders.  This module is the **single
+place** such constants are allowed to live; the ``UNIT002`` lint rule flags
+the raw literals anywhere else in ``src/repro``.
+
+Conventions (enforced by suffix-driven inference in the ``UNIT001``/
+``UNIT004`` lint rules):
+
+* ``*_s`` — simulated seconds
+* ``*_bytes`` — bytes
+* ``*_mb`` — megabytes (1 MB = 1e6 bytes)
+* ``*_mbytes_per_s`` — mega**bytes** per simulated second
+* ``*_bytes_per_s`` — bytes per simulated second
+* ``*_count`` — dimensionless counts
+
+Every helper is a thin, inlinable expression chosen so migrating a call
+site is **bit-identical**: the float operations (and their order) are
+exactly those of the literal expressions they replace.  ``MB`` is the
+integer ``1_000_000``; multiplying a float by it produces the same result
+as multiplying by the literal ``1e6`` (both convert to the same binary64
+value), and the scaled variants keep the scale *inside* the constant
+(``scale * MB`` is exact integer arithmetic) rather than multiplying the
+bandwidth twice, which could round differently.
+"""
+
+from __future__ import annotations
+
+#: bytes per megabyte (decimal megabyte: 1 MB = 1e6 bytes).
+MB = 1_000_000
+
+#: serialized bytes per float32 model parameter.
+BYTES_PER_FLOAT32 = 4
+
+
+def mbytes_per_s_to_bytes_per_s(bandwidth_mbytes_per_s: float) -> float:
+    """Convert a bandwidth from megabytes/s to bytes/s."""
+    return bandwidth_mbytes_per_s * MB
+
+
+def bytes_over_bandwidth(num_bytes: float, bandwidth_mbytes_per_s: float) -> float:
+    """Seconds to move ``num_bytes`` at ``bandwidth_mbytes_per_s`` (MB/s).
+
+    Exactly ``num_bytes / (bandwidth_mbytes_per_s * 1e6)`` — the wire-time
+    expression of :meth:`repro.simnet.hardware.HardwareProfile.transfer_time`.
+    """
+    return num_bytes / (bandwidth_mbytes_per_s * MB)
+
+
+def bytes_over_scaled_bandwidth(
+    num_bytes: float, bandwidth_mbytes_per_s: float, scale: int
+) -> float:
+    """Seconds to move ``num_bytes`` at ``scale`` times a link's bandwidth.
+
+    The timing model prices memory-bound aggregation and similarity scoring
+    as multiples of a profile's network bandwidth; the historical literals
+    (``4e6``, ``20e6``) were ``scale * 1e6`` folded by hand.  ``scale`` must
+    be an integer so ``scale * MB`` stays exact and the single float
+    multiply is bit-identical to the folded constant.
+    """
+    return num_bytes / (bandwidth_mbytes_per_s * (scale * MB))
+
+
+def float32_model_bytes(num_parameters: int) -> int:
+    """Serialized size in bytes of a float32 model with ``num_parameters``."""
+    return int(num_parameters * BYTES_PER_FLOAT32)

@@ -1,0 +1,101 @@
+"""Bit-identity pins for :mod:`repro.simnet.units`.
+
+The units helpers exist so conversion sites can migrate off magic literals
+(``1e6``, ``4e6``, ``20e6``) without changing a single bit of any result:
+each helper's float operations (and their order) must be exactly those of
+the literal expression it replaced.  These tests pin that equivalence with
+``==`` on floats — deliberately, no tolerance — across awkward values
+(subnormal-adjacent, non-dyadic, huge).  The suite-wide bit-identity tests
+would catch a drift too, but only through a whole simulation; these fail
+at the offending helper directly.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.simnet.units import (
+    BYTES_PER_FLOAT32,
+    MB,
+    bytes_over_bandwidth,
+    bytes_over_scaled_bandwidth,
+    float32_model_bytes,
+    mbytes_per_s_to_bytes_per_s,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: awkward float operands: non-dyadic, tiny, huge, and typical config values.
+BANDWIDTHS = [94.0, 12.5, 0.1, 3.337, 1e-9, 7.25e8, 1.0000000000000002]
+SIZES = [0.0, 1.0, 4.0, 123456789.0, 6.4e7, 2.5e12, 3.0000000000000004e5]
+
+
+class TestBitIdentity:
+    def test_mb_is_the_integer_million_and_equals_the_float_literal(self):
+        assert MB == 10**6
+        assert isinstance(MB, int)
+        assert float(MB) == 1e6
+
+    @pytest.mark.parametrize("bandwidth", BANDWIDTHS)
+    def test_mbytes_per_s_conversion_matches_the_literal(self, bandwidth):
+        assert mbytes_per_s_to_bytes_per_s(bandwidth) == bandwidth * 1e6
+
+    @pytest.mark.parametrize("bandwidth", BANDWIDTHS)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_bytes_over_bandwidth_matches_the_transfer_time_literal(self, size, bandwidth):
+        assert bytes_over_bandwidth(size, bandwidth) == size / (bandwidth * 1e6)
+
+    @pytest.mark.parametrize("bandwidth", BANDWIDTHS)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scaled_bandwidth_matches_the_folded_constants(self, size, bandwidth):
+        # The timing model's historical literals were scale * 1e6 folded by
+        # hand: 4e6 for memory-bound aggregation, 20e6 for similarity
+        # scoring.  scale * MB stays exact integer arithmetic, so the one
+        # float multiply sees the identical constant.
+        assert bytes_over_scaled_bandwidth(size, bandwidth, 4) == size / (bandwidth * 4e6)
+        assert bytes_over_scaled_bandwidth(size, bandwidth, 20) == size / (bandwidth * 20e6)
+
+    def test_float32_model_bytes_matches_the_literal(self):
+        assert BYTES_PER_FLOAT32 == 4
+        for parameters in (0, 1, 62006, 1_200_000):
+            assert float32_model_bytes(parameters) == int(parameters * 4)
+            assert isinstance(float32_model_bytes(parameters), int)
+
+
+class TestDeprecationHygiene:
+    def test_importing_the_tree_raises_no_deprecation_warnings(self):
+        # The alias shims (bandwidth_mbps and friends) must warn on *use*,
+        # never on import: CI runs this same guard so a future module-level
+        # alias read cannot slip in.
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-W",
+                "error::DeprecationWarning",
+                "-c",
+                "import repro.cli, repro.core.config, repro.simnet.hardware",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_alias_use_still_warns(self):
+        from repro.simnet.hardware import HardwareProfile
+
+        profile = HardwareProfile(
+            name="fixture",
+            samples_per_second=1000.0,
+            bandwidth_mbytes_per_s=94.0,
+            latency_s=0.01,
+            memory_mb=1024.0,
+            train_cpu_percent=50.0,
+        )
+        with pytest.warns(DeprecationWarning):
+            assert profile.bandwidth_mbps == 94.0  # detlint: ignore[UNIT003]
