@@ -110,3 +110,56 @@ def test_scheduler_scales_past_the_paper_testbeds(benchmark, report):
     assert len(kernel_trace) == events
     # The heap must beat the O(n)-per-step scan at this federation size.
     assert kernel_seconds < scan_seconds
+
+
+def test_sampled_population_materialises_only_cohorts(benchmark, report):
+    """Cross-device sampling: a 10k-client federation touches O(cohort) state.
+
+    The full ``sampled_100k`` shape (100k clients, cohort 128, per-leg peak
+    RSS in subprocesses) lives in ``repro.perf``; this is its in-suite
+    miniature — it runs one sampled experiment end to end and asserts the
+    lazy cluster factory materialised only the sampled cohorts, not the
+    population.
+    """
+    from repro.core.config import ExperimentConfig, cifar10_workload, gpu_cluster_configs
+    from repro.core.runner import ExperimentRunner
+
+    population, cohort, rounds = 10_000, 32, 2
+
+    def run():
+        config = ExperimentConfig(
+            name="bench-sampled-10k",
+            workload=cifar10_workload(rounds=rounds, samples_per_class=8, image_size=8),
+            clusters=gpu_cluster_configs(num_clusters=3, num_clients=2),
+            mode="sync",
+            rounds=rounds,
+            seed=0,
+            event_streams=True,
+            storage_replicas=2,
+            population=population,
+            clients_per_round=cohort,
+        )
+        runner = ExperimentRunner(config)
+        runner.build()
+        start = time.perf_counter()
+        result = runner.run()
+        wall = time.perf_counter() - start
+        events = len(runner.comm.network.scheduler.log) if runner.comm is not None else 0
+        return result, runner, wall, events
+
+    result, runner, wall, events = run_once(benchmark, run)
+
+    materialized = int(result.sampling["materialized_clusters"])
+    lines = [
+        f"Sampled federation — population {population}, cohort {cohort} x {rounds} rounds",
+        f"materialised clusters: {materialized} (population {population})",
+        f"fabric events: {events} in {wall:.3f} s ({events / max(wall, 1e-9):.1f} ev/s)",
+    ]
+    report("\n".join(lines))
+
+    # The population never materialises: at most one cohort per round did.
+    assert materialized <= cohort * rounds
+    assert materialized < population // 10
+    assert len(runner.aggregators) == materialized
+    assert result.sampling["population"] == float(population)
+    assert result.sampling["clients_per_round"] == float(cohort)

@@ -18,6 +18,9 @@ without writing Python::
 
     python -m repro.cli run --mode gossip --gossip-fanout 2      # barrier-free peer exchanges
 
+    python -m repro.cli run --population 100000 --clients-per-round 128 \
+        --mode sync --rounds 5                                   # sampled cross-device cohorts
+
     python -m repro.cli compare --workload cifar10 --rounds 6   # sync vs async vs semi vs baselines
     python -m repro.cli policies                                 # list available policies and modes
 
@@ -129,6 +132,10 @@ def _build_config(args: argparse.Namespace, name: str, mode: Optional[str] = Non
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown_s,
         sanitize=args.sanitize,
+        population=args.population,
+        clients_per_round=args.clients_per_round,
+        sample_fraction=args.sample_fraction,
+        sampling_seed=args.sampling_seed,
     )
 
 
@@ -301,6 +308,27 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="attach the simulation sanitizer: read-only invariant checks on "
         "the kernel, link scheduler and fabric (a sanitized run stays "
         "bit-identical; violations abort with a SanitizerViolation)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=None,
+        help="cross-device scale: total virtual clusters in the federation; "
+        "--clusters become round-robin templates and only each round's "
+        "sampled cohort materialises (peak memory is O(cohort))",
+    )
+    parser.add_argument(
+        "--clients-per-round", type=int, default=None, dest="clients_per_round",
+        help="sampled mode: absolute cohort size drawn each round (exactly "
+        "one of --clients-per-round / --sample-fraction with --population)",
+    )
+    parser.add_argument(
+        "--sample-fraction", type=float, default=None, dest="sample_fraction",
+        help="sampled mode: cohort size as a fraction of the population in (0, 1]",
+    )
+    parser.add_argument(
+        "--sampling-seed", type=int, default=None, dest="sampling_seed",
+        help="seed of the per-round cohort draw (default: the experiment "
+        "seed; kept separate from --fault-seed so sampling never shifts the "
+        "churn stream)",
     )
 
 

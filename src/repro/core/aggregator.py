@@ -106,6 +106,7 @@ class UnifyFLAggregator:
         comm: Optional["CommFabric"] = None,
         seed: int = 0,
         faults: Optional["FaultPlan"] = None,
+        streaming_aggregation: bool = False,
     ):
         if not clients:
             raise ValueError("an aggregator needs at least one client")
@@ -122,7 +123,9 @@ class UnifyFLAggregator:
         self.scorer = scorer
         self.eval_data = eval_data
         self.timing = timing_model or ClusterTimingModel(workload)
-        self.strategy = strategy or build_strategy(config.strategy)
+        self.strategy = strategy or build_strategy(
+            config.strategy, streaming=streaming_aggregation
+        )
         self.aggregation_policy = aggregation_policy or build_aggregation_policy(
             config.aggregation_policy, k=config.policy_k
         )
@@ -293,24 +296,24 @@ class UnifyFLAggregator:
         )
         selected = self.aggregation_policy.select(usable, self_candidate=self_candidate, rng=self._rng)
 
-        peer_weight_sets: List[Weights] = []
-        pulled_cids: List[str] = []
-        include_self = False
-        for candidate in selected:
-            if candidate.is_self:
-                include_self = True
-                continue
-            peer_weight_sets.append(self.fetch_weights(candidate.cid))
-            pulled_cids.append(candidate.cid)
+        peer_candidates = [c for c in selected if not c.is_self]
+        pulled_cids = [c.cid for c in peer_candidates]
 
-        num_pulled = len(peer_weight_sets)
-        if peer_weight_sets:
-            weight_sets = list(peer_weight_sets)
-            if include_self or True:
-                # The paper's step (5): the pulled models are aggregated with the
-                # aggregator's current model, so the local model always participates.
-                weight_sets.append(self.local_weights)
-            self.global_weights = self.strategy.aggregate_weight_sets(self.local_weights, weight_sets)
+        num_pulled = len(peer_candidates)
+        if peer_candidates:
+            # Stream the pulled models into the strategy one at a time: a
+            # streaming-capable strategy folds each contributor in place, so
+            # peak memory stays O(1) models instead of O(round).  The paper's
+            # step (5) still applies — the local model always participates,
+            # appended after the peers exactly as the stacked path did.
+            def _contributions():
+                for candidate in peer_candidates:
+                    yield self.fetch_weights(candidate.cid), 1.0
+                yield self.local_weights, 1.0
+
+            self.global_weights = self.strategy.aggregate_stream(
+                self.local_weights, _contributions()
+            )
         else:
             self.global_weights = [np.array(w, copy=True) for w in self.local_weights]
 

@@ -298,6 +298,24 @@ class ExperimentConfig:
     #: resilience: simulated seconds an open breaker fails fast before
     #: admitting one half-open trial.
     breaker_cooldown_s: float = 60.0
+    #: cross-device scale: total number of *virtual* clusters in the
+    #: federation.  ``None`` (the default) runs the classic cross-silo shape
+    #: where every entry of ``clusters`` materialises up front.  When set,
+    #: ``clusters`` become round-robin templates for the virtual population
+    #: and only the per-round sampled cohort materialises actors, models and
+    #: datasets — peak memory is O(cohort), not O(population).
+    population: Optional[int] = None
+    #: sampled mode: absolute cohort size drawn each round.  Exactly one of
+    #: ``clients_per_round`` / ``sample_fraction`` must be set with
+    #: ``population``.
+    clients_per_round: Optional[int] = None
+    #: sampled mode: cohort size as a fraction of the population in (0, 1].
+    sample_fraction: Optional[float] = None
+    #: seed of the per-round cohort draw (keyed ``[seed, round]`` so draws
+    #: are independent of policy call order); ``None`` reuses the experiment
+    #: ``seed``.  Kept separate from ``fault_seed`` so sampling never shifts
+    #: the churn Bernoulli stream.
+    sampling_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.partitioning not in ("iid", "dirichlet", "shard"):
@@ -312,7 +330,31 @@ class ExperimentConfig:
             raise ValueError("at least one cluster is required")
         if len({c.name for c in self.clusters}) != len(self.clusters):
             raise ValueError("cluster names must be unique")
-        validate_semi_params(self.semi_quorum_k, self.max_staleness, len(self.clusters))
+        if self.population is None:
+            if self.clients_per_round is not None or self.sample_fraction is not None:
+                raise ValueError(
+                    "clients_per_round / sample_fraction need population to be set"
+                )
+            if self.sampling_seed is not None:
+                raise ValueError("sampling_seed needs population to be set")
+        else:
+            if self.population < 1:
+                raise ValueError("population must be at least 1")
+            if (self.clients_per_round is None) == (self.sample_fraction is None):
+                raise ValueError(
+                    "sampled mode needs exactly one of clients_per_round or sample_fraction"
+                )
+            if self.clients_per_round is not None and not (
+                1 <= self.clients_per_round <= self.population
+            ):
+                raise ValueError("clients_per_round must be in [1, population]")
+            if self.sample_fraction is not None and not 0.0 < self.sample_fraction <= 1.0:
+                raise ValueError("sample_fraction must be in (0, 1]")
+        # Semi-sync quorum bounds check against the per-round federation size:
+        # the cohort in sampled mode, the static cluster list otherwise.
+        validate_semi_params(
+            self.semi_quorum_k, self.max_staleness, self.cohort_size or len(self.clusters)
+        )
         if self.local_rounds_per_global < 1:
             raise ValueError("local_rounds_per_global must be at least 1")
         if self.round_budget is not None and self.round_budget < 1:
@@ -387,6 +429,21 @@ class ExperimentConfig:
     def has_faults(self) -> bool:
         """True when this configuration injects any faults at all."""
         return self.churn_rate > 0 or self.replica_outages > 0 or self.wan_partitions > 0
+
+    @property
+    def has_sampling(self) -> bool:
+        """True when the run samples a per-round cohort from a virtual population."""
+        return self.population is not None
+
+    @property
+    def cohort_size(self) -> Optional[int]:
+        """Resolved per-round cohort size, or ``None`` in the cross-silo shape."""
+        if self.population is None:
+            return None
+        if self.clients_per_round is not None:
+            return self.clients_per_round
+        assert self.sample_fraction is not None
+        return max(1, min(self.population, int(round(self.sample_fraction * self.population))))
 
 
 def gpu_cluster_configs(

@@ -119,6 +119,10 @@ class UnifyFLContract(Contract):
         #: ensures SemiQuorumReached fires at most once per open round, even
         #: if the effective quorum drifts (e.g. a late registration).
         self._semi_quorum_fired = False
+        #: sampled federations: the addresses drawn for the current round.
+        #: ``None`` (the default, and the only state non-sampled runs ever
+        #: see) means every registered aggregator is eligible to score.
+        self.active_cohort: Optional[List[str]] = None
 
     # ------------------------------------------------------------------ setup
     @contract_method
@@ -131,6 +135,27 @@ class UnifyFLContract(Contract):
         self.emit("AggregatorRegistered", aggregator=sender, count=len(self.aggregators))
         self.ctx.charge(5_000)
         return len(self.aggregators)
+
+    @contract_method
+    def setActiveCohort(self, addresses: List[str]) -> int:
+        """Declare the aggregators sampled for the current round.
+
+        Sampled federations register every materialised virtual cluster but
+        only a cohort participates per round; the driver publishes the drawn
+        addresses so scorer assignment stays inside the cohort instead of
+        drafting idle (unmaterialised-next-round) clusters.  Passing an empty
+        list clears the restriction.  Non-sampled runs never call this, so
+        their assignment behaviour is untouched.
+        """
+        for address in addresses:
+            self.require(
+                address in self.aggregators,
+                "active cohort contains an unregistered aggregator",
+            )
+        self.active_cohort = list(addresses) if addresses else None
+        self.emit("ActiveCohortSet", size=len(addresses))
+        self.ctx.charge(5_000)
+        return len(addresses)
 
     # --------------------------------------------------------------- training
     @contract_method
@@ -389,11 +414,16 @@ class UnifyFLContract(Contract):
         the same assignment without an external randomness beacon.  The
         submitter itself is excluded when enough other aggregators exist,
         which is the bias-removal rationale of Section 3 step (2).
+
+        When an active cohort is declared (sampled federations), both the
+        candidate pool and the majority threshold are scoped to the cohort —
+        a cluster that was not drawn this round is never asked to score.
         """
-        majority = majority_quorum(len(self.aggregators))
-        candidates = [a for a in self.aggregators if a != submission.submitter]
+        pool = self.active_cohort if self.active_cohort else self.aggregators
+        majority = majority_quorum(len(pool))
+        candidates = [a for a in pool if a != submission.submitter]
         if len(candidates) < majority:
-            candidates = list(self.aggregators)
+            candidates = list(pool)
         digest = hashlib.sha256(
             f"{self.scorer_seed}:{submission.round_number}:{submission.cid}".encode()
         ).digest()

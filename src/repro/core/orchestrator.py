@@ -38,7 +38,10 @@ contract's behaviour profile are all derived from those registrations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.runner import ClientPopulation
 
 from repro.chain.account import Account
 from repro.chain.blockchain import Blockchain
@@ -94,6 +97,7 @@ class _BaseOrchestrator:
         aggregators: Sequence[UnifyFLAggregator],
         timing_model: ClusterTimingModel,
         comm: Optional[CommFabric] = None,
+        population: Optional["ClientPopulation"] = None,
     ):
         if not aggregators:
             raise ValueError("an orchestrator needs at least one aggregator")
@@ -102,7 +106,11 @@ class _BaseOrchestrator:
             raise ValueError("aggregator names must be unique")
         self.chain = chain
         self.driver = driver_account
-        self.aggregators = list(aggregators)
+        #: sampled federations keep the *live* list the population appends
+        #: to, so clusters that materialise mid-run show up in the results;
+        #: the classic shape copies, as the list is fixed for the whole run.
+        self.population = population
+        self.aggregators = aggregators if population is not None else list(aggregators)
         self.timing = timing_model
         #: event-stream communication fabric shared with the aggregators, or
         #: ``None`` for the constant-cost timing path.
@@ -132,6 +140,7 @@ class _BaseOrchestrator:
             idle_totals=self._idle_totals,
             straggles=self._straggles,
             comm=self.comm,
+            population=self.population,
         )
 
     def _build_policy(self, ctx: OrchestrationContext) -> RoundPolicy:
@@ -185,8 +194,11 @@ class SyncOrchestrator(_BaseOrchestrator):
         scoring_window: Optional[float] = None,
         scoring_algorithm: str = "accuracy",
         comm: Optional[CommFabric] = None,
+        population: Optional["ClientPopulation"] = None,
     ):
-        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
+        super().__init__(
+            chain, driver_account, aggregators, timing_model, comm=comm, population=population
+        )
         clusters = [a.config for a in aggregators]
         # ``is not None`` rather than truthiness: an explicit window of 0.0 is
         # a (degenerate but meaningful) operator choice, not "use the default".
@@ -230,8 +242,11 @@ class SemiSyncOrchestrator(_BaseOrchestrator):
         quorum_k: Optional[int] = None,
         max_staleness: Optional[float] = None,
         comm: Optional[CommFabric] = None,
+        population: Optional["ClientPopulation"] = None,
     ):
-        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
+        super().__init__(
+            chain, driver_account, aggregators, timing_model, comm=comm, population=population
+        )
         clusters = [a.config for a in aggregators]
         # Default quorum: a majority of clusters, mirroring the scorer-majority
         # rule of the contract.  Default staleness bound: one provisioned sync
@@ -265,8 +280,11 @@ class HierarchicalOrchestrator(_BaseOrchestrator):
         local_rounds_per_global: int = 2,
         round_budget: Optional[int] = None,
         comm: Optional[CommFabric] = None,
+        population: Optional["ClientPopulation"] = None,
     ):
-        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
+        super().__init__(
+            chain, driver_account, aggregators, timing_model, comm=comm, population=population
+        )
         if num_sites < 1:
             raise ValueError("num_sites must be at least 1")
         if local_rounds_per_global < 1:
@@ -300,8 +318,11 @@ class GossipOrchestrator(_BaseOrchestrator):
         fanout: int = 2,
         seed: int = 0,
         comm: Optional[CommFabric] = None,
+        population: Optional["ClientPopulation"] = None,
     ):
-        super().__init__(chain, driver_account, aggregators, timing_model, comm=comm)
+        super().__init__(
+            chain, driver_account, aggregators, timing_model, comm=comm, population=population
+        )
         if fanout < 0:
             raise ValueError("gossip fanout must be non-negative")
         self.fanout = fanout
@@ -337,12 +358,18 @@ def _sync_factory(build: PolicyBuildContext) -> SyncOrchestrator:
         scoring_window=config.phase_duration if config else None,
         scoring_algorithm=config.scoring_algorithm if config else "accuracy",
         comm=build.comm,
+        population=build.population,
     )
 
 
 def _async_factory(build: PolicyBuildContext) -> AsyncOrchestrator:
     return AsyncOrchestrator(
-        build.chain, build.driver, build.aggregators, build.timing, comm=build.comm
+        build.chain,
+        build.driver,
+        build.aggregators,
+        build.timing,
+        comm=build.comm,
+        population=build.population,
     )
 
 
@@ -356,6 +383,7 @@ def _semi_factory(build: PolicyBuildContext) -> SemiSyncOrchestrator:
         quorum_k=config.semi_quorum_k if config else None,
         max_staleness=config.max_staleness if config else None,
         comm=build.comm,
+        population=build.population,
     )
 
 
@@ -374,6 +402,7 @@ def _hierarchical_factory(build: PolicyBuildContext) -> HierarchicalOrchestrator
         local_rounds_per_global=config.local_rounds_per_global if config else 2,
         round_budget=config.round_budget if config else None,
         comm=build.comm,
+        population=build.population,
     )
 
 
@@ -387,6 +416,7 @@ def _gossip_factory(build: PolicyBuildContext) -> GossipOrchestrator:
         fanout=config.gossip_fanout if config else 2,
         seed=config.seed if config else 0,
         comm=build.comm,
+        population=build.population,
     )
 
 

@@ -16,7 +16,12 @@ from typing import Dict, Iterable, List, Union
 
 from repro.core.results import AggregatorResult, ExperimentResult
 
-_SCHEMA_VERSION = 1
+#: schema 2 adds the optional ``sampling`` block (population / cohort /
+#: sampling-seed / materialised-cluster metadata of sampled runs).  Classic
+#: fully-materialised runs keep emitting version-1 documents so their JSON
+#: exports stay byte-identical across releases; loaders accept both.
+_SCHEMA_VERSION = 2
+_SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 PathLike = Union[str, Path]
 
@@ -32,8 +37,8 @@ def _jsonable(value):
 
 def result_to_dict(result: ExperimentResult) -> Dict:
     """Convert an experiment result into a JSON-serialisable dictionary."""
-    return {
-        "schema_version": _SCHEMA_VERSION,
+    document = {
+        "schema_version": _SCHEMA_VERSION if result.sampling else 1,
         "name": result.name,
         "mode": result.mode,
         "scoring_algorithm": result.scoring_algorithm,
@@ -48,6 +53,9 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         },
         "aggregators": [_aggregator_to_dict(a) for a in result.aggregators],
     }
+    if result.sampling:
+        document["sampling"] = dict(result.sampling)
+    return document
 
 
 def _aggregator_to_dict(aggregator: AggregatorResult) -> Dict:
@@ -107,7 +115,7 @@ def load_result_json(path: PathLike) -> Dict:
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
         document = json.load(handle)
-    if document.get("schema_version") != _SCHEMA_VERSION:
+    if document.get("schema_version") not in _SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
             f"unsupported result schema version {document.get('schema_version')!r} in {path}"
         )

@@ -58,6 +58,10 @@ class ExperimentResult:
     #: per-phase communication/chain accounting from the event-stream fabric
     #: (empty unless the experiment ran with ``event_streams=True``).
     comm_metrics: Dict[str, float] = field(default_factory=dict)
+    #: sampled-federation metadata — population size, per-round cohort size,
+    #: sampling seed and how many virtual clusters actually materialised.
+    #: Empty for the classic fully-materialised cross-silo shape.
+    sampling: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_global_accuracy(self) -> float:

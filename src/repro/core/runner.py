@@ -21,6 +21,7 @@ benchmark comparisons are apples to apples.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.core.config import ClusterConfig, ExperimentConfig, WorkloadConfig
 from repro.core.contract import UnifyFLContract
 from repro.core.orchestrator import OrchestrationResult
 from repro.core.results import AggregatorResult, ExperimentResult
+from repro.core.sampling import ClientSampler
 from repro.core.scorer import build_scorer
 from repro.core.timing import ClusterTimingModel
 from repro.datasets.partition import DirichletPartitioner, IIDPartitioner, ShardPartitioner
@@ -59,6 +61,64 @@ GETH_CPU_PERCENT = 0.2
 GETH_MEMORY_MB = 6.0
 IPFS_CPU_PERCENT = 3.5
 IPFS_MEMORY_MB = 19.0
+
+
+class ClientPopulation:
+    """Lazy virtual-cluster factory over a sampled federation's population.
+
+    The population itself is only a number (``config.population``); what
+    exists in memory is the set of virtual clusters some round's cohort has
+    actually drawn.  ``round_aggregators`` materialises a round's cohort on
+    first request (clients, models, IPFS node, contract registration) and
+    memoises both the cohort and every member, so a cluster re-sampled in a
+    later round is reused with its clock and history intact.  Peak memory is
+    therefore O(distinct sampled clusters), not O(population).
+
+    Cohorts come from :class:`~repro.core.sampling.ClientSampler`, so *who*
+    participates in round ``r`` is a pure function of ``(sampling_seed, r)``
+    — independent of materialisation order and of any other RNG stream.
+    """
+
+    def __init__(self, runner: "ExperimentRunner"):
+        config = runner.config
+        assert config.population is not None and config.cohort_size is not None
+        self.runner = runner
+        self.population_size = config.population
+        self.cohort_size = config.cohort_size
+        seed = config.sampling_seed if config.sampling_seed is not None else config.seed
+        self.sampler = ClientSampler(config.population, self.cohort_size, seed)
+        self._by_index: Dict[int, UnifyFLAggregator] = {}
+        self._rounds: Dict[int, List[UnifyFLAggregator]] = {}
+
+    @property
+    def materialized_count(self) -> int:
+        """Number of distinct virtual clusters built so far."""
+        return len(self._by_index)
+
+    def cohort_indices(self, round_number: int) -> Tuple[int, ...]:
+        """The virtual-cluster indices drawn for a round (no materialisation)."""
+        return self.sampler.cohort(round_number)
+
+    def round_aggregators(self, round_number: int) -> List[UnifyFLAggregator]:
+        """The round's cohort as live aggregators, materialising on demand."""
+        cached = self._rounds.get(round_number)
+        if cached is not None:
+            return cached
+        members = [self._materialise(i) for i in self.sampler.cohort(round_number)]
+        self._rounds[round_number] = members
+        return members
+
+    def addresses(self, round_number: int) -> List[str]:
+        """The chain addresses of a round's cohort."""
+        return [a.address for a in self.round_aggregators(round_number)]
+
+    def _materialise(self, index: int) -> UnifyFLAggregator:
+        existing = self._by_index.get(index)
+        if existing is not None:
+            return existing
+        aggregator = self.runner._materialise_virtual_cluster(index)
+        self._by_index[index] = aggregator
+        return aggregator
 
 
 class ExperimentRunner:
@@ -95,6 +155,9 @@ class ExperimentRunner:
         #: created in :meth:`build` and hooked into the kernel, the link
         #: scheduler and the fabric.
         self.sanitizer: Optional[SimulationSanitizer] = None
+        #: sampled federations only: the lazy virtual-cluster factory
+        #: (created in :meth:`build` when ``config.population`` is set).
+        self.population: Optional[ClientPopulation] = None
 
     # ------------------------------------------------------------------- data
     @staticmethod
@@ -163,7 +226,12 @@ class ExperimentRunner:
         return cluster_train_data, cluster_client_data, cluster_score_data
 
     # ------------------------------------------------------------------ setup
-    def _build_clients(self, cluster: ClusterConfig, index: int) -> List[Client]:
+    def _build_clients(
+        self,
+        cluster: ClusterConfig,
+        index: int,
+        partitions: Optional[List[Dataset]] = None,
+    ) -> List[Client]:
         workload = self.config.workload
         client_config = ClientConfig(
             local_epochs=workload.local_epochs,
@@ -174,8 +242,10 @@ class ExperimentRunner:
             dp_clip_norm=cluster.dp_clip_norm,
             dp_noise_multiplier=cluster.dp_noise_multiplier,
         )
+        if partitions is None:
+            partitions = self.cluster_client_data[cluster.name]
         clients = []
-        for j, partition in enumerate(self.cluster_client_data[cluster.name]):
+        for j, partition in enumerate(partitions):
             clients.append(
                 Client(
                     client_id=f"{cluster.name}-client{j}",
@@ -213,6 +283,22 @@ class ExperimentRunner:
         )
         return FaultPlan.from_config(config, self._replica_names(), horizon)
 
+    def _cluster_link(self, cluster: ClusterConfig) -> NetworkLink:
+        """The LAN link a cluster's aggregator profile implies (config-capped)."""
+        profile = cluster.aggregator_profile
+        bandwidth_mbytes_per_s = profile.bandwidth_mbytes_per_s
+        if self.config.link_bandwidth_mbytes_per_s is not None:
+            bandwidth_mbytes_per_s = min(
+                bandwidth_mbytes_per_s, self.config.link_bandwidth_mbytes_per_s
+            )
+        latency_s = profile.latency_s
+        if self.config.link_latency_s is not None:
+            latency_s = self.config.link_latency_s
+        return NetworkLink.from_mbytes_per_s(
+            latency_s=latency_s,
+            bandwidth_mbytes_per_s=bandwidth_mbytes_per_s,
+        )
+
     def _build_comm_fabric(self) -> Optional[CommFabric]:
         """Stand up the event-stream fabric when the experiment asks for one.
 
@@ -248,22 +334,15 @@ class ExperimentRunner:
         replica_names = self._replica_names()
         for name in replica_names:
             topology.add_replica(name, capacity=config.replica_capacity)
-        for i, cluster in enumerate(config.clusters):
-            profile = cluster.aggregator_profile
-            bandwidth_mbytes_per_s = profile.bandwidth_mbytes_per_s
-            if config.link_bandwidth_mbytes_per_s is not None:
-                bandwidth_mbytes_per_s = min(bandwidth_mbytes_per_s, config.link_bandwidth_mbytes_per_s)
-            latency_s = profile.latency_s
-            if config.link_latency_s is not None:
-                latency_s = config.link_latency_s
-            topology.add_cluster(
-                cluster.name,
-                replica_names[i % num_replicas],
-                NetworkLink.from_mbytes_per_s(
-                    latency_s=latency_s,
-                    bandwidth_mbytes_per_s=bandwidth_mbytes_per_s,
-                ),
-            )
+        if not config.has_sampling:
+            # Sampled federations attach cluster endpoints lazily as their
+            # virtual clusters materialise (NetworkActor.attach_cluster).
+            for i, cluster in enumerate(config.clusters):
+                topology.add_cluster(
+                    cluster.name,
+                    replica_names[i % num_replicas],
+                    self._cluster_link(cluster),
+                )
         network_actor = NetworkActor(
             topology=topology,
             model_bytes=self.timing_model.nominal_model_bytes,
@@ -286,23 +365,41 @@ class ExperimentRunner:
             block_interval = config.block_interval
         else:
             block_interval = config.block_period
+        # Consensus scales with the organisations active at once: the static
+        # cluster count, or — sampled — the per-round cohort size.
+        organisations = config.cohort_size if config.has_sampling else len(config.clusters)
         chain_actor = ChainActor(
             block_interval=block_interval,
-            consensus_delay=consensus_delay(len(config.clusters), block_interval),
+            consensus_delay=consensus_delay(organisations, block_interval),
         )
         return CommFabric(network_actor, chain_actor)
 
     def build(self) -> None:
-        """Instantiate the chain, storage swarm and every aggregator."""
+        """Instantiate the chain, storage swarm and every aggregator.
+
+        Sampled federations (``config.population`` set) build the shared
+        substrates but materialise no clusters up front: a
+        :class:`ClientPopulation` creates each round's cohort lazily, so
+        peak memory is O(active cohort) instead of O(population).
+        """
         clusters = self.config.clusters
-        self.accounts = {
-            cluster.name: Account.create(label=cluster.name, seed=self.config.seed * 1000 + i)
-            for i, cluster in enumerate(clusters)
-        }
-        self._driver_account = Account.create(label="driver", seed=self.config.seed * 1000 + 999)
-        validators = list(self.accounts.values())
-        self.chain = Blockchain(validators, block_period=self.config.block_period)
-        self.chain.register_account(self._driver_account)
+        if self.config.has_sampling:
+            self._driver_account = Account.create(
+                label="driver", seed=self.config.seed * 1000 + 999
+            )
+            self.accounts = {}
+            # The driver seals blocks alone: virtual clusters come and go
+            # per round, so none of them can be a standing validator.
+            self.chain = Blockchain([self._driver_account], block_period=self.config.block_period)
+        else:
+            self.accounts = {
+                cluster.name: Account.create(label=cluster.name, seed=self.config.seed * 1000 + i)
+                for i, cluster in enumerate(clusters)
+            }
+            self._driver_account = Account.create(label="driver", seed=self.config.seed * 1000 + 999)
+            validators = list(self.accounts.values())
+            self.chain = Blockchain(validators, block_period=self.config.block_period)
+            self.chain.register_account(self._driver_account)
         self.chain.deploy_contract(
             UnifyFLContract(mode=self.config.mode, scorer_seed=self.config.seed)
         )
@@ -320,33 +417,107 @@ class ExperimentRunner:
             self.chain.add_block_listener(self.comm.chain.observe_block)
 
         self.aggregators = []
+        if self.config.has_sampling:
+            self.population = ClientPopulation(self)
+            # Materialise round 1's cohort eagerly so the orchestrator's
+            # constructor sees a non-empty aggregator list; later rounds
+            # materialise on demand from the round policies.
+            self.population.round_aggregators(1)
+            return
         for i, cluster in enumerate(clusters):
-            node = self.swarm.create_node(f"{cluster.name}-ipfs")
-            clients = self._build_clients(cluster, i)
-            scorer = build_scorer(
-                self.config.scoring_algorithm,
-                model_template=self.model_template,
-                test_data=self.cluster_score_data[cluster.name],
+            self.aggregators.append(
+                self._materialise_cluster(
+                    cluster,
+                    account=self.accounts[cluster.name],
+                    score_data=self.cluster_score_data[cluster.name],
+                    seed=self.config.seed + i,
+                    client_index=i,
+                )
             )
-            attack = build_attack(cluster.attack) if cluster.malicious else None
-            aggregator = UnifyFLAggregator(
-                config=cluster,
-                workload=self.config.workload,
-                account=self.accounts[cluster.name],
-                chain=self.chain,
-                ipfs_node=node,
-                model_template=self.model_template,
-                clients=clients,
-                scorer=scorer,
-                eval_data=self.test_data,
-                timing_model=self.timing_model,
-                attack=attack,
-                resource_monitor=self.monitor,
-                comm=self.comm,
-                seed=self.config.seed + i,
-                faults=self.fault_plan,
+
+    def _materialise_cluster(
+        self,
+        cluster: ClusterConfig,
+        account: Account,
+        score_data: Dataset,
+        seed: int,
+        client_index: int,
+        client_partitions: Optional[List[Dataset]] = None,
+        streaming_aggregation: bool = False,
+    ) -> UnifyFLAggregator:
+        """Stand up one cluster: IPFS node, clients, scorer, aggregator."""
+        assert self.chain is not None and self.swarm is not None
+        node = self.swarm.create_node(f"{cluster.name}-ipfs")
+        clients = self._build_clients(cluster, client_index, partitions=client_partitions)
+        scorer = build_scorer(
+            self.config.scoring_algorithm,
+            model_template=self.model_template,
+            test_data=score_data,
+        )
+        attack = build_attack(cluster.attack) if cluster.malicious else None
+        return UnifyFLAggregator(
+            config=cluster,
+            workload=self.config.workload,
+            account=account,
+            chain=self.chain,
+            ipfs_node=node,
+            model_template=self.model_template,
+            clients=clients,
+            scorer=scorer,
+            eval_data=self.test_data,
+            timing_model=self.timing_model,
+            attack=attack,
+            resource_monitor=self.monitor,
+            comm=self.comm,
+            seed=seed,
+            faults=self.fault_plan,
+            streaming_aggregation=streaming_aggregation,
+        )
+
+    def _materialise_virtual_cluster(self, index: int) -> UnifyFLAggregator:
+        """Create virtual cluster ``index`` of a sampled population.
+
+        The virtual cluster clones the template at ``index % len(clusters)``
+        (round-robin over the configured cluster shapes), draws its own
+        account/aggregator/client seeds from ranges disjoint from the eager
+        path's, re-partitions the template's data shard for its clients, and
+        registers itself on the contract and — when event streams are on —
+        the communication fabric.  Streaming aggregation is enabled so a
+        large cohort aggregates in O(1) model-sized buffers.
+        """
+        assert self.chain is not None
+        config = self.config
+        templates = config.clusters
+        template = templates[index % len(templates)]
+        cluster = dataclasses.replace(template, name=f"{template.name}-p{index}")
+        account = Account.create(
+            label=cluster.name, seed=config.seed * 1000 + 1000 + index
+        )
+        self.accounts[cluster.name] = account
+        self.chain.register_account(account)
+        client_partitioner = IIDPartitioner(
+            cluster.num_clients, seed=config.seed + 100 + index
+        )
+        partitions = client_partitioner.partition(self.cluster_train_data[template.name])
+        aggregator = self._materialise_cluster(
+            cluster,
+            account=account,
+            score_data=self.cluster_score_data[template.name],
+            seed=config.seed + 1000 + index,
+            client_index=1000 + index,
+            client_partitions=partitions,
+            streaming_aggregation=True,
+        )
+        if self.comm is not None:
+            replica_names = self._replica_names()
+            self.comm.network.attach_cluster(
+                cluster.name,
+                replica_names[index % config.storage_replicas],
+                self._cluster_link(cluster),
             )
-            self.aggregators.append(aggregator)
+        aggregator.register(mine=True)
+        self.aggregators.append(aggregator)
+        return aggregator
 
     # --------------------------------------------------------------------- run
     def run(self, rounds: Optional[int] = None) -> ExperimentResult:
@@ -402,6 +573,7 @@ class ExperimentRunner:
             timing=self.timing_model,
             comm=self.comm,
             config=self.config,
+            population=self.population,
         )
         return get_policy(self.config.mode).factory(build)
 
@@ -444,6 +616,14 @@ class ExperimentRunner:
             # Constant-cost path with churn enabled: no fabric exists, but the
             # drop accounting still belongs in the exported metrics.
             comm_metrics["dropped_clients"] = float(self.fault_plan.dropped_clients)
+        sampling: Dict[str, float] = {}
+        if self.population is not None:
+            sampling = {
+                "population": float(self.population.population_size),
+                "clients_per_round": float(self.population.cohort_size),
+                "sampling_seed": float(self.population.sampler.seed),
+                "materialized_clusters": float(self.population.materialized_count),
+            }
         return ExperimentResult(
             name=self.config.name,
             mode=self.config.mode,
@@ -456,6 +636,7 @@ class ExperimentRunner:
             resource_reports=resource_reports,
             orchestration_extras=dict(orchestration.extras),
             comm_metrics=comm_metrics,
+            sampling=sampling,
         )
 
     def _policy_label(self, cluster: ClusterConfig) -> str:

@@ -18,7 +18,7 @@ lets the performance-based aggregation policies treat them uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,33 +69,40 @@ class AccuracyScorer(Scorer):
         return len(self._test_data)
 
 
-class MultiKRUMScorer(Scorer):
-    """Multi-KRUM similarity scoring over the models of one round.
+class _FullRoundScorer(Scorer):
+    """Shared plumbing for similarity scorers that need the whole round.
 
-    For each candidate model, compute the squared L2 distances to every other
-    model of the round, sum the smallest ``n - f - 2`` of them (``f`` is the
-    assumed number of Byzantine participants), and convert the sum to a
-    score where smaller distance sums (models closer to the majority) rank
-    higher.  Scores are mapped into (0, 1] so they are comparable with
-    accuracy-based scores for the aggregation policies.
+    ``score`` used to call ``score_round`` once *per model*, so scoring a
+    full round of ``n`` models recomputed the whole pairwise round analysis ``n``
+    times — O(n²) flattenings and O(n³) distance work.  The fix is a
+    round-keyed memo: the sorted tuple of round CIDs fingerprints the round
+    (CIDs are content hashes, so identical CID sets mean identical weights),
+    and a repeated ``score`` call against the same round reuses the cached
+    per-CID scores instead of re-running ``score_round``.
     """
 
-    name = "multikrum"
     requires_full_round = True
 
-    def __init__(self, byzantine_tolerance: int = 0):
-        if byzantine_tolerance < 0:
-            raise ValueError("byzantine_tolerance must be non-negative")
-        self.byzantine_tolerance = byzantine_tolerance
+    #: per-class error message kept for backwards-compatible diagnostics.
+    _context_error = "scoring requires the full set of round models via context['round_weights']"
+
+    def __init__(self) -> None:
+        self._round_memo: Optional[Tuple[Tuple[str, ...], Dict[str, float]]] = None
+
+    def _round_scores(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
+        fingerprint = tuple(sorted(round_weights))
+        if self._round_memo is not None and self._round_memo[0] == fingerprint:
+            return self._round_memo[1]
+        scores = self.score_round(round_weights)
+        self._round_memo = (fingerprint, scores)
+        return scores
 
     def score(self, weights: Weights, context: Optional[Dict] = None) -> float:
         if not context or "round_weights" not in context:
-            raise ValueError(
-                "MultiKRUM requires the full set of round models via context['round_weights']"
-            )
+            raise ValueError(self._context_error)
         round_weights: Dict[str, Weights] = context["round_weights"]
         target_cid: Optional[str] = context.get("cid")
-        scores = self.score_round(round_weights)
+        scores = self._round_scores(round_weights)
         if target_cid is not None and target_cid in scores:
             return scores[target_cid]
         # Fall back to matching by value when the CID was not supplied.
@@ -104,6 +111,37 @@ class MultiKRUMScorer(Scorer):
             if np.allclose(flatten_weights(candidate), flat_target):
                 return scores[cid]
         raise ValueError("the model being scored is not part of the provided round")
+
+
+class MultiKRUMScorer(_FullRoundScorer):
+    """Multi-KRUM similarity scoring over the models of one round.
+
+    For each candidate model, compute the squared L2 distances to every other
+    model of the round, sum the smallest ``n - f - 2`` of them (``f`` is the
+    assumed number of Byzantine participants), and convert the sum to a
+    score where smaller distance sums (models closer to the majority) rank
+    higher.  Scores are mapped into (0, 1] so they are comparable with
+    accuracy-based scores for the aggregation policies.
+
+    The per-row selection is vectorised: the diagonal of the pairwise
+    distance matrix is masked with ``inf`` on a copy (self-distance is zero
+    and would otherwise always win), ``np.partition`` pulls each row's ``m``
+    nearest neighbours without a full sort, and a final ascending sort of
+    just those ``m`` columns reproduces the reference loop's summation order
+    so the result is bit-identical to :meth:`score_round_reference`.
+    """
+
+    name = "multikrum"
+
+    _context_error = (
+        "MultiKRUM requires the full set of round models via context['round_weights']"
+    )
+
+    def __init__(self, byzantine_tolerance: int = 0):
+        super().__init__()
+        if byzantine_tolerance < 0:
+            raise ValueError("byzantine_tolerance must be non-negative")
+        self.byzantine_tolerance = byzantine_tolerance
 
     def score_round(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
         if not round_weights:
@@ -117,11 +155,37 @@ class MultiKRUMScorer(Scorer):
         diffs = vectors[:, None, :] - vectors[None, :, :]
         sq_dists = (diffs**2).sum(axis=2)
         closest = max(1, n - self.byzantine_tolerance - 2)
+        m = min(closest, n - 1)
+        # Mask self-distances (diagonal zeros) so partition only sees peers.
+        masked = sq_dists.copy()
+        np.fill_diagonal(masked, np.inf)
+        nearest = np.partition(masked, m - 1, axis=1)[:, :m]
+        # Ascending sort of the m selected columns matches the reference
+        # loop's `others.sort()` summation order, keeping sums bit-identical.
+        krum_sums = np.sort(nearest, axis=1).sum(axis=1)
+        return self._normalise(cids, krum_sums)
+
+    def score_round_reference(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
+        """The original per-row loop, retained as the equivalence oracle."""
+        if not round_weights:
+            return {}
+        cids = sorted(round_weights)
+        vectors = np.stack([flatten_weights(round_weights[c]) for c in cids])
+        n = len(cids)
+        if n == 1:
+            return {cids[0]: 1.0}
+        diffs = vectors[:, None, :] - vectors[None, :, :]
+        sq_dists = (diffs**2).sum(axis=2)
+        closest = max(1, n - self.byzantine_tolerance - 2)
         krum_sums = np.empty(n)
         for i in range(n):
             others = np.delete(sq_dists[i], i)
             others.sort()
             krum_sums[i] = others[: min(closest, len(others))].sum()
+        return self._normalise(cids, krum_sums)
+
+    @staticmethod
+    def _normalise(cids: List[str], krum_sums: np.ndarray) -> Dict[str, float]:
         # Smaller distance sum -> higher score, mapped into (0, 1].
         scale = krum_sums.max()
         if scale <= 0:
@@ -158,7 +222,7 @@ class LossScorer(Scorer):
         return float(1.0 / (1.0 + max(loss, 0.0)))
 
 
-class CosineSimilarityScorer(Scorer):
+class CosineSimilarityScorer(_FullRoundScorer):
     """Score a model by its mean cosine similarity to the other round models.
 
     A cheap similarity-based alternative to MultiKRUM: an honest model points
@@ -166,36 +230,40 @@ class CosineSimilarityScorer(Scorer):
     (sign-flipped, scaled or random) model does not.  Like MultiKRUM it needs
     every model of the round at once and is therefore Sync-only.  Scores are
     mapped from [-1, 1] into [0, 1].
+
+    The mean-of-others loop is vectorised by masking the diagonal of the
+    similarity matrix and reshaping to ``(n, n - 1)`` before a row-wise
+    mean.  Note this deliberately does NOT use the row-sum identity
+    ``(row_sum - 1) / (n - 1)``: subtracting the self-similarity from an
+    accumulated row sum changes the floating-point summation order and is
+    not bit-identical to the reference ``np.delete(...).mean()`` loop,
+    whereas the masked reshape preserves the exact operand order.
     """
 
     name = "cosine"
-    requires_full_round = True
 
-    def score(self, weights: Weights, context: Optional[Dict] = None) -> float:
-        if not context or "round_weights" not in context:
-            raise ValueError(
-                "cosine scoring requires the full set of round models via context['round_weights']"
-            )
-        round_weights: Dict[str, Weights] = context["round_weights"]
-        target_cid: Optional[str] = context.get("cid")
-        scores = self.score_round(round_weights)
-        if target_cid is not None and target_cid in scores:
-            return scores[target_cid]
-        flat_target = flatten_weights(weights)
-        for cid, candidate in round_weights.items():
-            if np.allclose(flatten_weights(candidate), flat_target):
-                return scores[cid]
-        raise ValueError("the model being scored is not part of the provided round")
+    _context_error = (
+        "cosine scoring requires the full set of round models via context['round_weights']"
+    )
 
     def score_round(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
         if not round_weights:
             return {}
         cids = sorted(round_weights)
-        vectors = np.stack([flatten_weights(round_weights[c]) for c in cids])
-        norms = np.linalg.norm(vectors, axis=1)
-        norms[norms == 0] = 1.0
-        unit = vectors / norms[:, None]
-        similarity = unit @ unit.T
+        similarity = self._similarity_matrix(round_weights, cids)
+        n = len(cids)
+        if n == 1:
+            return {cids[0]: 1.0}
+        mask = ~np.eye(n, dtype=bool)
+        means = similarity[mask].reshape(n, n - 1).mean(axis=1)
+        return {cid: float((mean + 1.0) / 2.0) for cid, mean in zip(cids, means)}
+
+    def score_round_reference(self, round_weights: Dict[str, Weights]) -> Dict[str, float]:
+        """The original per-row loop, retained as the equivalence oracle."""
+        if not round_weights:
+            return {}
+        cids = sorted(round_weights)
+        similarity = self._similarity_matrix(round_weights, cids)
         n = len(cids)
         if n == 1:
             return {cids[0]: 1.0}
@@ -204,6 +272,14 @@ class CosineSimilarityScorer(Scorer):
             others = np.delete(similarity[i], i)
             scores[cid] = float((others.mean() + 1.0) / 2.0)
         return scores
+
+    @staticmethod
+    def _similarity_matrix(round_weights: Dict[str, Weights], cids: List[str]) -> np.ndarray:
+        vectors = np.stack([flatten_weights(round_weights[c]) for c in cids])
+        norms = np.linalg.norm(vectors, axis=1)
+        norms[norms == 0] = 1.0
+        unit = vectors / norms[:, None]
+        return unit @ unit.T
 
 
 def build_scorer(

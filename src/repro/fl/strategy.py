@@ -11,13 +11,13 @@ aggregator owns its own strategy instance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.fl.client import FitResult
 from repro.ml.optim import Adagrad, Optimizer, Yogi
-from repro.ml.tensor_utils import average_weights, subtract_weights
+from repro.ml.tensor_utils import RunningWeightedAverage, subtract_weights
 
 
 class Strategy:
@@ -56,11 +56,52 @@ class Strategy:
                 result.num_samples = max(1, int(round(float(coef) * 1000)))
         return self.aggregate(current_weights, results)
 
+    def aggregate_stream(
+        self,
+        current_weights: List[np.ndarray],
+        contributions: Iterable[Tuple[List[np.ndarray], float]],
+    ) -> List[np.ndarray]:
+        """Aggregate ``(weights, coefficient)`` pairs from a lazy producer.
+
+        The streaming entry point of the aggregation path: the aggregator
+        feeds pulled peer models through here one at a time so a strategy
+        that can fold contributors in place (``FedAvg`` with
+        ``streaming=True``) never holds the whole round in memory.  The
+        base implementation simply materialises the pairs and delegates to
+        :meth:`aggregate_weight_sets`, which keeps the server-side optimizer
+        strategies working unchanged.
+        """
+        weight_sets: List[List[np.ndarray]] = []
+        coefficients: List[float] = []
+        for weights, coefficient in contributions:
+            weight_sets.append(weights)
+            coefficients.append(float(coefficient))
+        if not weight_sets:
+            return [np.array(w, copy=True) for w in current_weights]
+        # Pass coefficients only when they carry information: an all-ones
+        # vector must take the historical no-coefficient path so the
+        # num_samples quantisation cannot perturb bit-identical results.
+        if all(c == 1.0 for c in coefficients):
+            return self.aggregate_weight_sets(current_weights, weight_sets)
+        return self.aggregate_weight_sets(current_weights, weight_sets, coefficients)
+
 
 class FedAvg(Strategy):
-    """Sample-count-weighted averaging of client models."""
+    """Sample-count-weighted averaging of client models.
+
+    Aggregation runs through :class:`RunningWeightedAverage`.  With
+    ``streaming=False`` (the default) the accumulator's exact mode delegates
+    to the historical stacked contraction, so results are bit-identical to
+    every earlier release.  With ``streaming=True`` contributors are folded
+    in place as they arrive — O(1) model-sized buffers instead of a stack of
+    the whole round — at the cost of the last bit versus the BLAS
+    contraction; the sampled-federation path opts in.
+    """
 
     name = "fedavg"
+
+    def __init__(self, streaming: bool = False):
+        self.streaming = streaming
 
     def aggregate(
         self,
@@ -69,9 +110,22 @@ class FedAvg(Strategy):
     ) -> List[np.ndarray]:
         if not results:
             return [np.array(w, copy=True) for w in current_weights]
-        weight_sets = [r.weights for r in results]
-        coefficients = [float(r.num_samples) for r in results]
-        return average_weights(weight_sets, coefficients)
+        accumulator = RunningWeightedAverage(exact=not self.streaming)
+        for result in results:
+            accumulator.add(result.weights, float(result.num_samples))
+        return accumulator.finalize()
+
+    def aggregate_stream(
+        self,
+        current_weights: List[np.ndarray],
+        contributions: Iterable[Tuple[List[np.ndarray], float]],
+    ) -> List[np.ndarray]:
+        accumulator = RunningWeightedAverage(exact=not self.streaming)
+        for weights, coefficient in contributions:
+            accumulator.add(weights, float(coefficient))
+        if accumulator.count == 0:
+            return [np.array(w, copy=True) for w in current_weights]
+        return accumulator.finalize()
 
 
 class _ServerOptStrategy(Strategy):
@@ -124,9 +178,17 @@ _STRATEGIES: Dict[str, type] = {
 }
 
 
-def build_strategy(name: str, **kwargs) -> Strategy:
-    """Construct a strategy by name (``fedavg``, ``fedyogi``, ``fedadagrad``)."""
+def build_strategy(name: str, streaming: bool = False, **kwargs) -> Strategy:
+    """Construct a strategy by name (``fedavg``, ``fedyogi``, ``fedadagrad``).
+
+    ``streaming=True`` opts ``fedavg`` into the in-place accumulator (used
+    by sampled federations); the server-side optimizer strategies ignore it
+    because their pseudo-gradient step needs the full averaged model anyway.
+    """
     key = name.lower()
     if key not in _STRATEGIES:
         raise ValueError(f"unknown strategy '{name}'; available: {sorted(_STRATEGIES)}")
-    return _STRATEGIES[key](**kwargs)
+    strategy = _STRATEGIES[key](**kwargs)
+    if streaming and isinstance(strategy, FedAvg):
+        strategy.streaming = True
+    return strategy

@@ -19,6 +19,10 @@ The grid:
   event streams on, end to end through :class:`ExperimentRunner`.
 * ``hierarchical_2site`` / ``gossip_2site`` — the two federation modes over
   a 2-site replicated topology.
+* ``sampled_100k`` — a population-sampled cross-device run (100k virtual
+  clusters, cohort 128) plus a population-1000 control with the same
+  cohort, each in its own subprocess so both legs report their own peak
+  RSS; the ``rss_ratio`` between them pins the O(cohort) memory claim.
 
 Events counted: for ``sched_800`` every scheduler API call the workload
 issues (backlog query, estimate, commit, totals read); for the experiment
@@ -39,7 +43,11 @@ import subprocess
 import time
 from typing import Dict, List, Optional, Tuple
 
-SCHEMA_VERSION = 1
+#: schema 2 adds the ``sampled_100k`` benchmark: a population-sampled
+#: cross-device run whose entry carries a ``baseline`` leg at population
+#: 1000 (same cohort) and the ``rss_ratio`` between the two — the O(cohort)
+#: peak-memory claim, pinned as a number.
+SCHEMA_VERSION = 2
 
 #: required keys of every benchmark entry (the CI bench job validates these).
 BENCHMARK_KEYS = ("events", "wall_s", "events_per_sec", "peak_rss_kb")
@@ -211,6 +219,98 @@ def bench_gossip_2site(quick: bool = False, profile: bool = False) -> Dict[str, 
     return _bench_experiment(config, profile)
 
 
+# ------------------------------------------------------------ sampled scale
+_SAMPLED_LEG_SCRIPT = """\
+import json, resource, sys, time
+from repro.core.config import ExperimentConfig, cifar10_workload, gpu_cluster_configs
+from repro.core.runner import ExperimentRunner
+
+population, cohort, rounds = (int(a) for a in sys.argv[1:4])
+config = ExperimentConfig(
+    name=f"bench-sampled-{population}",
+    workload=cifar10_workload(rounds=rounds, samples_per_class=8, image_size=8),
+    clusters=gpu_cluster_configs(num_clusters=3, num_clients=2),
+    mode="sync",
+    rounds=rounds,
+    seed=0,
+    event_streams=True,
+    storage_replicas=2,
+    population=population,
+    clients_per_round=cohort,
+)
+runner = ExperimentRunner(config)
+runner.build()
+start = time.perf_counter()
+result = runner.run()
+wall = time.perf_counter() - start
+events = len(runner.comm.network.scheduler.log) if runner.comm is not None else 0
+if runner.chain is not None:
+    events += int(runner.chain.metrics.as_dict().get("transactions_processed", 0))
+print(json.dumps({
+    "events": events,
+    "wall_s": round(wall, 4),
+    "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+    "materialized_clusters": result.sampling.get("materialized_clusters", 0.0),
+}))
+"""
+
+
+def _run_sampled_leg(population: int, cohort: int, rounds: int) -> Dict[str, object]:
+    """One sampled run in a fresh interpreter, for a per-leg ``ru_maxrss``.
+
+    ``ru_maxrss`` is a process-wide high-water mark, so legs sharing the
+    bench process would inherit each other's peaks and the O(cohort) memory
+    claim could never be measured.  Each leg therefore runs in a
+    subprocess that reports its own peak.
+    """
+    import os
+    import sys
+    from pathlib import Path
+
+    src_root = str(Path(__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _SAMPLED_LEG_SCRIPT, str(population), str(cohort), str(rounds)],
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=1800,
+        env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def bench_sampled_100k(quick: bool = False) -> Dict[str, object]:
+    """Population-sampled cross-device run: 100k virtual clusters, cohort 128.
+
+    Two subprocess legs: the headline population and a population-1000
+    control with the *same* cohort.  Peak memory is O(cohort), so the legs'
+    RSS ratio should sit near 1 — it is recorded as ``rss_ratio`` and CI
+    asserts it stays under 2.
+    """
+    population = 10_000 if quick else 100_000
+    cohort = 32 if quick else 128
+    rounds = 2
+    leg = _run_sampled_leg(population, cohort, rounds)
+    control = _run_sampled_leg(1_000, cohort, rounds)
+    wall = float(leg["wall_s"])
+    return {
+        "events": leg["events"],
+        "wall_s": wall,
+        "events_per_sec": round(leg["events"] / wall, 1) if wall > 0 else 0.0,
+        "peak_rss_kb": leg["peak_rss_kb"],
+        "materialized_clusters": leg["materialized_clusters"],
+        "baseline": {
+            "population": 1_000,
+            "wall_s": control["wall_s"],
+            "peak_rss_kb": control["peak_rss_kb"],
+        },
+        "rss_ratio": round(leg["peak_rss_kb"] / control["peak_rss_kb"], 3),
+        "params": {"population": population, "clients_per_round": cohort, "rounds": rounds},
+    }
+
+
 # ------------------------------------------------------------------ driver
 def run_benchmarks(quick: bool = False, profile: bool = False) -> Dict[str, object]:
     """Run the fixed grid and return the BENCH document."""
@@ -219,6 +319,7 @@ def run_benchmarks(quick: bool = False, profile: bool = False) -> Dict[str, obje
     benchmarks["table3_event_stream"] = bench_table3(quick=quick, profile=profile)
     benchmarks["hierarchical_2site"] = bench_hierarchical_2site(quick=quick, profile=profile)
     benchmarks["gossip_2site"] = bench_gossip_2site(quick=quick, profile=profile)
+    benchmarks["sampled_100k"] = bench_sampled_100k(quick=quick)
     return {
         "schema_version": SCHEMA_VERSION,
         "commit": _git_commit(),
@@ -239,9 +340,18 @@ def validate_document(document: Dict[str, object]) -> List[str]:
                 problems.append(f"benchmark '{name}' missing key '{key}'")
             elif not isinstance(entry[key], (int, float)):
                 problems.append(f"benchmark '{name}' key '{key}' is not numeric")
+    version = document.get("schema_version")
+    if version is not None and version not in (1, SCHEMA_VERSION):
+        problems.append(f"unsupported schema version {version!r}")
     sched = (document.get("benchmarks") or {}).get("sched_800")
     if sched is not None and "speedup" not in sched:
         problems.append("benchmark 'sched_800' missing key 'speedup'")
+    sampled = (document.get("benchmarks") or {}).get("sampled_100k")
+    if sampled is not None:
+        if "rss_ratio" not in sampled:
+            problems.append("benchmark 'sampled_100k' missing key 'rss_ratio'")
+        elif not isinstance(sampled["rss_ratio"], (int, float)):
+            problems.append("benchmark 'sampled_100k' key 'rss_ratio' is not numeric")
     return problems
 
 

@@ -217,6 +217,27 @@ class NetworkActor:
                 if windows:
                     self.scheduler.set_partition(site_a, site_b, windows)
 
+    def attach_cluster(self, name: str, replica: str, link=None) -> None:
+        """Register a cluster endpoint that materialised after construction.
+
+        Sampled federations create virtual clusters lazily, so the fabric
+        must accept new endpoints mid-run: the cluster is added to the
+        topology, its composed cluster↔replica links are installed on the
+        live scheduler's network (the topology's resolver only covers
+        schedulers built *after* ``add_cluster``), and — when a fault plan is
+        active — its site registered so partition lookups resolve.
+        """
+        if self.topology is None:
+            raise ValueError("attach_cluster needs a multi-replica topology")
+        self.topology.add_cluster(name, replica, link=link)
+        if self.scheduler.network is not None:
+            for peer in self.replicas:
+                self.scheduler.network.set_link(
+                    name, peer, self.topology.path_link(name, peer)
+                )
+        if self.faults is not None:
+            self.scheduler.set_site(name, replica)
+
     # ------------------------------------------------------------- resilience
     def _breaker(self, replica: str) -> CircuitBreaker:
         """The lazily-created circuit breaker guarding one replica."""

@@ -61,6 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chain.account import Account
     from repro.chain.blockchain import Blockchain
     from repro.core.aggregator import UnifyFLAggregator
+    from repro.core.runner import ClientPopulation
     from repro.core.timing import ClusterTimingModel, RoundTiming
     from repro.sched.actors import CommFabric
 
@@ -82,6 +83,11 @@ class OrchestrationContext:
     #: (startTraining / startScoring / endRound / closeSemiRound) as chain
     #: events and predict submission costs from the live link schedule.
     comm: Optional["CommFabric"] = None
+    #: the lazy virtual-cluster population of a sampled federation, or
+    #: ``None`` for the fully-materialised cross-silo shape.  When set,
+    #: ``aggregators`` is the live list of clusters materialised *so far*;
+    #: policies must draw each round's participants from the population.
+    population: Optional["ClientPopulation"] = None
 
     def add_idle(self, name: str, waited: float) -> None:
         """Accumulate ``waited`` idle seconds against aggregator ``name``."""
@@ -96,6 +102,17 @@ class RoundPolicy:
     def __init__(self, ctx: OrchestrationContext):
         self.ctx = ctx
         self.kernel: Optional[SimulationKernel] = None
+        #: sampled federations: highest round whose cohort was published to
+        #: the contract (guards setActiveCohort to once per round).
+        self._cohort_round_sent = 0
+        #: sampled free-running modes run the cohort as *lanes*: lane ``j``
+        #: executes global rounds 1..num_rounds, occupied in round ``r`` by
+        #: member ``j`` of round ``r``'s cohort.  The lane's timeline is
+        #: continuous — a new occupant starts where the previous one left
+        #: off — so the federation keeps a constant ``cohort_size`` degree
+        #: of parallelism while the participants rotate underneath it.
+        self._lane_round: Dict[int, int] = {}
+        self._lane_time: Dict[int, float] = {}
 
     def install(self, kernel: SimulationKernel) -> None:
         """Schedule the policy's initial events on ``kernel``."""
@@ -109,6 +126,44 @@ class RoundPolicy:
         return {}
 
     # ------------------------------------------------------------ shared steps
+    def _participants(self, round_number: int) -> Sequence["UnifyFLAggregator"]:
+        """The clusters taking part in a round (the cohort when sampled)."""
+        if self.ctx.population is None:
+            return self.ctx.aggregators
+        return self.ctx.population.round_aggregators(round_number)
+
+    def _update_active_cohort(self, round_number: int) -> None:
+        """Publish a sampled round's cohort addresses to the contract.
+
+        Scorer assignment is scoped to the declared set, so a cluster that
+        was not drawn this round is never drafted as a scorer.  Called at
+        every round start but published at most once per round (free-running
+        lanes all pass through here); bookkeeping only — no simulated cost
+        is charged, the declaration piggybacks on the round's driver
+        traffic.  No-op in non-sampled runs.
+        """
+        if self.ctx.population is None or round_number <= self._cohort_round_sent:
+            return
+        self._cohort_round_sent = round_number
+        addresses = self.ctx.population.addresses(round_number)
+        self.ctx.chain.send(
+            self.ctx.driver, "unifyfl", "setActiveCohort", {"addresses": addresses}
+        )
+        self.ctx.chain.mine_until_empty()
+
+    def _lane_occupant(self, lane: int, round_number: int) -> "UnifyFLAggregator":
+        """Lane ``lane``'s occupant for a sampled round, aligned to lane time.
+
+        A newly-materialised cluster starts at clock 0 and is advanced to
+        the lane's timeline (no idle is booked — it did not exist before); a
+        re-sampled cluster may already be past the lane time, in which case
+        it simply carries on from its own clock.
+        """
+        assert self.ctx.population is not None
+        aggregator = self.ctx.population.round_aggregators(round_number)[lane]
+        aggregator.clock.advance_to(self._lane_time.get(lane, 0.0))
+        return aggregator
+
     def _driver_chain_op(self, kind: str, at: float, num_transactions: int = 1) -> float:
         """Charge one driver (orchestrator) transaction to the chain stream.
 
@@ -200,11 +255,14 @@ class SyncRoundPolicy(RoundPolicy):
         self._round_timings: Dict[str, "RoundTiming"] = {}
         self._straggled: Dict[str, bool] = {}
         self._offline: Dict[str, bool] = {}
+        #: the clusters participating in the round in flight — the full
+        #: federation normally, the sampled cohort when a population is set.
+        self._active: Sequence["UnifyFLAggregator"] = ctx.aggregators
 
     def install(self, kernel: SimulationKernel) -> None:
         """Schedule the first round start at the initial barrier time."""
         self.kernel = kernel
-        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        barrier = max(a.clock.now() for a in self._participants(1))
         kernel.schedule_at(barrier, lambda: self._begin_round(1), key="sync-round")
 
     # ------------------------------------------------------------ phase events
@@ -213,21 +271,33 @@ class SyncRoundPolicy(RoundPolicy):
         from repro.core.timing import RoundTiming
 
         assert self.kernel is not None
-        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        participants = self._participants(round_number)
+        self._active = participants
+        self._update_active_cohort(round_number)
+        barrier = max(a.clock.now() for a in participants)
+        if self.ctx.population is not None:
+            # A sampled cohort may consist entirely of clusters whose clocks
+            # lag the federation (fresh, or idle since an earlier round);
+            # the round still starts no earlier than the previous round end.
+            barrier = max(barrier, self.kernel.now())
         self.ctx.chain.send(self.ctx.driver, "unifyfl", "startTraining")
         self.ctx.chain.mine_until_empty()
         # Event streams: training starts when the startTraining transaction is
         # final on-chain, not the instant the driver broadcast it.
         phase_start = barrier + self._driver_chain_op("startTraining", barrier)
         barrier_waits: Dict[str, float] = {}
-        for aggregator in self.ctx.aggregators:
+        for aggregator in participants:
             waited = aggregator.clock.advance_to(phase_start)
+            if self.ctx.population is not None and not aggregator.history:
+                # A newly-materialised cluster advancing from clock 0 to the
+                # current barrier did not wait — it did not exist before.
+                waited = 0.0
             self.ctx.add_idle(aggregator.name, waited)
             barrier_waits[aggregator.name] = waited
         self._round_timings = {}
         self._straggled = {}
         self._offline = {}
-        for aggregator in self.ctx.aggregators:
+        for aggregator in participants:
             # The wait for the barrier / startTraining finality belongs to this
             # round's books (zero in constant-cost mode, where clusters are
             # already aligned when a round begins).
@@ -241,7 +311,7 @@ class SyncRoundPolicy(RoundPolicy):
                 continue
             self._offline[aggregator.name] = False
             # A cluster that straggled last round submits its stale model first.
-            if self.pending_late[aggregator.name]:
+            if self.pending_late.get(aggregator.name, False):
                 cid, late_timing = aggregator.submit_local_model()
                 timing.store_time += late_timing.store_time
                 timing.chain_time += late_timing.chain_time
@@ -262,7 +332,9 @@ class SyncRoundPolicy(RoundPolicy):
                 # Missed the submission window: submit next round instead.
                 self._straggled[aggregator.name] = True
                 self.pending_late[aggregator.name] = True
-                self.ctx.straggles[aggregator.name] += 1
+                self.ctx.straggles[aggregator.name] = (
+                    self.ctx.straggles.get(aggregator.name, 0) + 1
+                )
             self._round_timings[aggregator.name] = timing
 
         self.kernel.schedule_at(
@@ -279,12 +351,12 @@ class SyncRoundPolicy(RoundPolicy):
         self.ctx.chain.mine_until_empty()
         # Event streams: scoring starts once startScoring is sealed on-chain.
         scoring_start = window_end + self._driver_chain_op("startScoring", window_end)
-        for aggregator in self.ctx.aggregators:
+        for aggregator in self._active:
             waited = aggregator.clock.advance_to(scoring_start)
             self.ctx.add_idle(aggregator.name, waited)
             self._round_timings[aggregator.name].idle_time += waited
 
-        for aggregator in self.ctx.aggregators:
+        for aggregator in self._active:
             if self._offline.get(aggregator.name, False):
                 continue
             score_timing = aggregator.score_assigned()
@@ -308,12 +380,12 @@ class SyncRoundPolicy(RoundPolicy):
         # Event streams: the round (and its reward bookkeeping) is only over
         # once the endRound transaction is sealed.
         round_end = scoring_end + self._driver_chain_op("endRound", scoring_end)
-        for aggregator in self.ctx.aggregators:
+        for aggregator in self._active:
             waited = aggregator.clock.advance_to(round_end)
             self.ctx.add_idle(aggregator.name, waited)
             self._round_timings[aggregator.name].idle_time += waited
 
-        for aggregator in self.ctx.aggregators:
+        for aggregator in self._active:
             aggregator.record_round(
                 round_number,
                 self._round_timings[aggregator.name],
@@ -322,7 +394,7 @@ class SyncRoundPolicy(RoundPolicy):
             )
 
         if round_number < self.ctx.num_rounds:
-            barrier = max(a.clock.now() for a in self.ctx.aggregators)
+            barrier = max(a.clock.now() for a in self._active)
             self.kernel.schedule_at(
                 barrier, lambda: self._begin_round(round_number + 1), key="sync-round"
             )
@@ -340,6 +412,15 @@ class AsyncRoundPolicy(RoundPolicy):
     def install(self, kernel: SimulationKernel) -> None:
         """Arm every cluster's first activation at its own local clock."""
         self.kernel = kernel
+        if self.ctx.population is not None:
+            # Sampled: one free-running lane per cohort slot; occupants
+            # rotate per round as the sampler draws them.
+            for lane in range(self.ctx.population.cohort_size):
+                self._lane_round[lane] = 0
+                kernel.schedule_at(
+                    0.0, lambda l=lane: self._activate_lane(l), key=f"lane-{lane}"
+                )
+            return
         for aggregator in self.ctx.aggregators:
             kernel.schedule_at(
                 aggregator.clock.now(),
@@ -359,6 +440,23 @@ class AsyncRoundPolicy(RoundPolicy):
                 aggregator.clock.now(),
                 lambda: self._activate(aggregator),
                 key=aggregator.name,
+            )
+
+    def _activate_lane(self, lane: int) -> None:
+        """Sampled-mode lane step: one self-paced round by the lane's occupant."""
+        assert self.kernel is not None
+        round_number = self._lane_round[lane] + 1
+        self._lane_round[lane] = round_number
+        self._update_active_cohort(round_number)
+        aggregator = self._lane_occupant(lane, round_number)
+        self._free_running_round(aggregator, round_number)
+        self.rounds_done[aggregator.name] = self.rounds_done.get(aggregator.name, 0) + 1
+        self._lane_time[lane] = aggregator.clock.now()
+        if round_number < self.ctx.num_rounds:
+            self.kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda: self._activate_lane(lane),
+                key=f"lane-{lane}",
             )
 
     def finalize(self) -> None:
@@ -392,8 +490,10 @@ class SemiSyncRoundPolicy(RoundPolicy):
         self.quorum_k = quorum_k
         self.max_staleness = max_staleness
         self.rounds_done: Dict[str, int] = {a.name: 0 for a in ctx.aggregators}
-        #: clusters waiting for the open round to close before re-activating.
-        self._blocked: Dict[str, "UnifyFLAggregator"] = {}
+        #: clusters waiting for the open round to close before re-activating,
+        #: as name -> (aggregator, lane); lane is ``None`` outside sampled
+        #: mode, where clusters are their own permanent lane.
+        self._blocked: Dict[str, tuple] = {}
         #: semi round each cluster's latest submission was buffered into.
         self._submitted_round: Dict[str, int] = {}
         #: submissions that have *landed* (reached their submitter's local
@@ -427,6 +527,14 @@ class SemiSyncRoundPolicy(RoundPolicy):
         # Recorded for the chain accounting; nobody waits on the configuration
         # transaction (clusters start from their own clocks regardless).
         self._driver_chain_op("configureSemiRound", 0.0)
+        if self.ctx.population is not None:
+            for lane in range(self.ctx.population.cohort_size):
+                self._lane_round[lane] = 0
+                kernel.schedule_at(
+                    0.0, lambda l=lane: self._activate_lane(l), key=f"lane-{lane}"
+                )
+            self._arm_timeout()
+            return
         for aggregator in self.ctx.aggregators:
             kernel.schedule_at(
                 aggregator.clock.now(),
@@ -469,16 +577,51 @@ class SemiSyncRoundPolicy(RoundPolicy):
             self._timeout_event.cancel()
             self._timeout_event = None
 
-    def _on_submission(self, aggregator: "UnifyFLAggregator") -> None:
+    def _activate_lane(self, lane: int) -> None:
+        """Sampled-mode lane step: one self-paced round by the lane's occupant."""
+        assert self.kernel is not None
+        round_number = self._lane_round[lane] + 1
+        self._lane_round[lane] = round_number
+        self._update_active_cohort(round_number)
+        aggregator = self._lane_occupant(lane, round_number)
+        submitted = self._free_running_round(aggregator, round_number)
+        self.rounds_done[aggregator.name] = self.rounds_done.get(aggregator.name, 0) + 1
+        done = round_number >= self.ctx.num_rounds
+        if done:
+            # Finished state is tracked per *lane*: the lane retires, its
+            # last occupant does not block other lanes it may later join.
+            self._finished.add(lane)
+        self._lane_time[lane] = aggregator.clock.now()
+
+        if submitted:
+            status = self.ctx.chain.call("unifyfl", "getSemiRoundStatus")
+            self._submitted_round[aggregator.name] = status["round"]
+            self.kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda: self._on_submission(aggregator, lane=lane),
+                key=f"lane-{lane}",
+            )
+        elif not done:
+            self._reactivate(aggregator, lane=lane)
+
+        if self._all_finished() and self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+
+    def _on_submission(
+        self, aggregator: "UnifyFLAggregator", lane: Optional[int] = None
+    ) -> None:
         """The cluster's submission lands (in global time): close or wait."""
         assert self.kernel is not None
-        done = aggregator.name in self._finished
+        done = (lane in self._finished) if lane is not None else (
+            aggregator.name in self._finished
+        )
         status = self.ctx.chain.call("unifyfl", "getSemiRoundStatus")
         if status["round"] > self._submitted_round.get(aggregator.name, 0):
             # The round this cluster fed was closed while its submission was
             # in flight — it is free to continue immediately.
             if not done:
-                self._reactivate(aggregator)
+                self._reactivate(aggregator, lane=lane)
             return
         self._landed += 1
         if self._landed >= self.quorum_k:
@@ -487,16 +630,16 @@ class SemiSyncRoundPolicy(RoundPolicy):
                 # The quorum-triggering cluster waits for closeSemiRound
                 # finality exactly like every blocked waiter — closing the
                 # round is not a licence to skip the consensus wait.
-                self._release(aggregator, release_time)
+                self._release(aggregator, release_time, lane=lane)
         elif self._deadline_passed:
             # The round is already past its staleness deadline; this first
             # landing gives it content, so it closes right away.
             release_time = self._close_round(reason="staleness")
             if not done:
-                self._release(aggregator, release_time)
+                self._release(aggregator, release_time, lane=lane)
         elif not done:
             # Submitted to a round that is still open: wait for the close.
-            self._blocked[aggregator.name] = aggregator
+            self._blocked[aggregator.name] = (aggregator, lane)
 
     def _on_timeout(self) -> None:
         assert self.kernel is not None
@@ -511,8 +654,20 @@ class SemiSyncRoundPolicy(RoundPolicy):
             self._deadline_passed = True
 
     # --------------------------------------------------------------- internals
-    def _reactivate(self, aggregator: "UnifyFLAggregator") -> None:
+    def _reactivate(
+        self, aggregator: "UnifyFLAggregator", lane: Optional[int] = None
+    ) -> None:
         assert self.kernel is not None
+        if lane is not None:
+            # Sampled mode: the *lane* continues from this occupant's clock;
+            # the next round's occupant may be a different cluster.
+            self._lane_time[lane] = aggregator.clock.now()
+            self.kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda: self._activate_lane(lane),
+                key=f"lane-{lane}",
+            )
+            return
         self.kernel.schedule_at(
             aggregator.clock.now(),
             lambda: self._activate(aggregator),
@@ -525,7 +680,12 @@ class SemiSyncRoundPolicy(RoundPolicy):
             self.max_staleness, self._on_timeout, priority=1, key="semi-timeout"
         )
 
-    def _release(self, aggregator: "UnifyFLAggregator", release_time: float) -> None:
+    def _release(
+        self,
+        aggregator: "UnifyFLAggregator",
+        release_time: float,
+        lane: Optional[int] = None,
+    ) -> None:
         """Advance a same-round submitter to the close's finality and re-arm it.
 
         Shared by blocked waiters and the cluster whose landing triggered the
@@ -537,7 +697,7 @@ class SemiSyncRoundPolicy(RoundPolicy):
         self.ctx.add_idle(aggregator.name, waited)
         if aggregator.history:
             aggregator.history[-1].timing.idle_time += waited
-        self._reactivate(aggregator)
+        self._reactivate(aggregator, lane=lane)
 
     def _close_round(self, reason: str) -> float:
         """Close the open semi round on the contract and release waiters.
@@ -568,11 +728,13 @@ class SemiSyncRoundPolicy(RoundPolicy):
             self._timeout_event = None
 
         blocked = [self._blocked.pop(name) for name in sorted(self._blocked)]
-        for aggregator in blocked:
-            self._release(aggregator, release_time)
+        for aggregator, lane in blocked:
+            self._release(aggregator, release_time, lane=lane)
         return release_time
 
     def _all_finished(self) -> bool:
+        if self.ctx.population is not None:
+            return len(self._finished) == self.ctx.population.cohort_size
         return len(self._finished) == len(self.ctx.aggregators)
 
     # ----------------------------------------------------------------- results
@@ -671,7 +833,7 @@ class HierarchicalRoundPolicy(RoundPolicy):
     def install(self, kernel: SimulationKernel) -> None:
         """Schedule the first global round at the initial barrier time."""
         self.kernel = kernel
-        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        barrier = max(a.clock.now() for a in self._participants(1))
         kernel.schedule_at(barrier, lambda: self._begin_round(1), key="hier-round")
 
     # ---------------------------------------------------------- helper pricing
@@ -700,7 +862,7 @@ class HierarchicalRoundPolicy(RoundPolicy):
 
     def _consume_budget(self, aggregator: "UnifyFLAggregator", global_round: int, local_round: int) -> bool:
         """Whether the cluster may train now; decrements the budget if so."""
-        left = self.budget_left[aggregator.name]
+        left = self.budget_left.get(aggregator.name, self.round_budget)
         if left is None:
             return True
         if left <= 0:
@@ -715,11 +877,26 @@ class HierarchicalRoundPolicy(RoundPolicy):
         from repro.core.timing import RoundTiming
 
         assert self.kernel is not None
-        barrier = max(a.clock.now() for a in self.ctx.aggregators)
+        participants = list(self._participants(global_round))
+        self._update_active_cohort(global_round)
+        sampled = self.ctx.population is not None
+        if sampled:
+            # Cohorts change per round: site groups are rebuilt each round
+            # with the same ``i % num_sites`` round-robin over the cohort.
+            self.groups = [[] for _ in range(self.num_sites)]
+            for i, aggregator in enumerate(participants):
+                self.groups[i % self.num_sites].append(aggregator)
+        barrier = max(a.clock.now() for a in participants)
+        if sampled:
+            barrier = max(barrier, self.kernel.now())
         timings: Dict[str, "RoundTiming"] = {}
         available: Dict[str, bool] = {}
-        for aggregator in self.ctx.aggregators:
+        for aggregator in participants:
             waited = aggregator.clock.advance_to(barrier)
+            if sampled and not aggregator.history:
+                # A freshly materialised cohort member did not exist before
+                # this barrier; catching its clock up is not idle waiting.
+                waited = 0.0
             self.ctx.add_idle(aggregator.name, waited)
             self.tier_totals["global_idle_time"] += waited
             timings[aggregator.name] = RoundTiming(idle_time=waited)
@@ -727,7 +904,7 @@ class HierarchicalRoundPolicy(RoundPolicy):
             aggregator._pulled_this_round = 0
 
         # Serve the scoring the previous round's leader submissions assigned.
-        for aggregator in self.ctx.aggregators:
+        for aggregator in participants:
             if not available[aggregator.name]:
                 continue
             score_timing = aggregator.score_assigned(before_time=aggregator.clock.now())
@@ -754,7 +931,7 @@ class HierarchicalRoundPolicy(RoundPolicy):
             self.leader_log.append((global_round, site_index, leader.name))
             self._run_group_round(global_round, group, members, leader, timings)
 
-        for aggregator in self.ctx.aggregators:
+        for aggregator in participants:
             aggregator.record_round(
                 global_round,
                 timings[aggregator.name],
@@ -762,7 +939,7 @@ class HierarchicalRoundPolicy(RoundPolicy):
             )
 
         if global_round < self.ctx.num_rounds:
-            barrier = max(a.clock.now() for a in self.ctx.aggregators)
+            barrier = max(a.clock.now() for a in participants)
             self.kernel.schedule_at(
                 barrier, lambda: self._begin_round(global_round + 1), key="hier-round"
             )
@@ -923,6 +1100,13 @@ class GossipRoundPolicy(RoundPolicy):
     def install(self, kernel: SimulationKernel) -> None:
         """Arm every cluster's first activation at its own local clock."""
         self.kernel = kernel
+        if self.ctx.population is not None:
+            for lane in range(self.ctx.population.cohort_size):
+                self._lane_round[lane] = 0
+                kernel.schedule_at(
+                    0.0, lambda l=lane: self._activate_lane(l), key=f"lane-{lane}"
+                )
+            return
         for aggregator in self.ctx.aggregators:
             kernel.schedule_at(
                 aggregator.clock.now(),
@@ -943,25 +1127,77 @@ class GossipRoundPolicy(RoundPolicy):
         chosen = sorted(rng.choice(len(others), size=k, replace=False).tolist())
         return [others[i] for i in chosen]
 
-    def _activate(self, aggregator: "UnifyFLAggregator") -> None:
-        from repro.core.timing import RoundTiming
+    def _select_lane_peers(
+        self,
+        participants: Sequence["UnifyFLAggregator"],
+        lane: int,
+        round_number: int,
+    ) -> List["UnifyFLAggregator"]:
+        """Sampled-mode fanout draw: peers come from the round's cohort.
 
+        The draw is keyed on the *lane* (the cohort slot), not the cluster,
+        so it is independent of which virtual cluster happens to occupy the
+        slot this round.
+        """
+        others = [a for i, a in enumerate(participants) if i != lane]
+        k = min(self.fanout, len(others))
+        if k <= 0:
+            return []
+        rng = np.random.default_rng([self.seed, round_number, lane])
+        chosen = sorted(rng.choice(len(others), size=k, replace=False).tolist())
+        return [others[i] for i in chosen]
+
+    def _activate(self, aggregator: "UnifyFLAggregator") -> None:
         assert self.kernel is not None
         round_number = self.rounds_done[aggregator.name] + 1
         self.rounds_done[aggregator.name] = round_number
         done = round_number >= self.ctx.num_rounds
+        self._run_round(
+            aggregator, round_number, self._select_peers(aggregator, round_number)
+        )
+        if not done:
+            self._reactivate(aggregator)
+
+    def _activate_lane(self, lane: int) -> None:
+        """Sampled-mode lane step: one gossip round by the lane's occupant."""
+        assert self.kernel is not None
+        assert self.ctx.population is not None
+        round_number = self._lane_round[lane] + 1
+        self._lane_round[lane] = round_number
+        participants = self.ctx.population.round_aggregators(round_number)
+        aggregator = self._lane_occupant(lane, round_number)
+        self.rounds_done[aggregator.name] = self.rounds_done.get(aggregator.name, 0) + 1
+        self._run_round(
+            aggregator,
+            round_number,
+            self._select_lane_peers(participants, lane, round_number),
+        )
+        self._lane_time[lane] = aggregator.clock.now()
+        if round_number < self.ctx.num_rounds:
+            self.kernel.schedule_at(
+                aggregator.clock.now(),
+                lambda: self._activate_lane(lane),
+                key=f"lane-{lane}",
+            )
+
+    def _run_round(
+        self,
+        aggregator: "UnifyFLAggregator",
+        round_number: int,
+        peers: Sequence["UnifyFLAggregator"],
+    ) -> None:
+        """One cluster's complete gossip round: pull peers, merge, train, publish."""
+        from repro.core.timing import RoundTiming
 
         if not aggregator.is_available(round_number):
             downtime = self.ctx.timing.client_training_time(aggregator.config, jitter=False)
             aggregator.clock.advance(downtime)
             aggregator.record_round(round_number, RoundTiming(idle_time=downtime), offline=True)
-            if not done:
-                self._reactivate(aggregator)
             return
 
         timing = RoundTiming()
         peer_weight_sets = []
-        for peer in self._select_peers(aggregator, round_number):
+        for peer in peers:
             cid = self._latest_visible(peer.name, aggregator.clock.now())
             if cid is None:
                 # The peer has published nothing this cluster could know of
@@ -1001,8 +1237,6 @@ class GossipRoundPolicy(RoundPolicy):
 
         aggregator._pulled_this_round = len(peer_weight_sets)
         aggregator.record_round(round_number, timing)
-        if not done:
-            self._reactivate(aggregator)
 
     def _latest_visible(self, peer: str, now: float) -> Optional[str]:
         """The peer's newest CID whose publication ``now`` has passed."""

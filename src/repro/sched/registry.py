@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chain.blockchain import Blockchain
     from repro.core.aggregator import UnifyFLAggregator
     from repro.core.config import ExperimentConfig
+    from repro.core.runner import ClientPopulation
     from repro.core.timing import ClusterTimingModel
     from repro.sched.actors import CommFabric
 
@@ -86,6 +87,12 @@ class PolicyBuildContext:
     #: the full experiment configuration; ``None`` when an orchestrator is
     #: built programmatically outside an :class:`ExperimentRunner`.
     config: Optional["ExperimentConfig"] = None
+    #: the lazy virtual-cluster population of a sampled federation, or
+    #: ``None`` for the classic fully-materialised cross-silo shape.  When
+    #: set, ``aggregators`` is the *live* list the population appends to and
+    #: holds only the clusters materialised so far (round 1's cohort at
+    #: build time).
+    population: Optional["ClientPopulation"] = None
 
 
 @dataclass(frozen=True)

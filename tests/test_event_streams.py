@@ -633,16 +633,16 @@ class TestSemiSyncReleaseTiming:
         resumed = []
 
         class RecordingPolicy(SemiSyncRoundPolicy):
-            def _on_submission(self, aggregator):
+            def _on_submission(self, aggregator, lane=None):
                 before = len(self.closures)
-                super()._on_submission(aggregator)
+                super()._on_submission(aggregator, lane=lane)
                 if len(self.closures) > before and aggregator.name not in self._finished:
                     # This cluster's landing closed the round and it resumes.
                     release_time = self.closures[-1][4]
                     resumed.append(("closer", aggregator.name, aggregator.clock.now(), release_time))
 
             def _close_round(self, reason):
-                blocked = list(self._blocked.values())
+                blocked = [waiter for waiter, _lane in self._blocked.values()]
                 release_time = super()._close_round(reason)
                 for waiter in blocked:
                     resumed.append(("waiter", waiter.name, waiter.clock.now(), release_time))

@@ -1,0 +1,356 @@
+"""Sampled federations, streaming aggregation and vectorised scoring.
+
+Covers the cross-device-scale layer end to end:
+
+* :class:`~repro.core.sampling.ClientSampler` — seeded, call-order-independent
+  cohorts that never perturb the fault plan's churn stream;
+* :class:`~repro.ml.tensor_utils.RunningWeightedAverage` — the streaming
+  aggregation accumulator, bit-identical to ``average_weights`` in exact mode;
+* the vectorised MultiKRUM / cosine ``score_round`` implementations against
+  their retained reference loops, with ``==`` per score;
+* the lazy cluster factory — sampled experiments materialise O(cohort)
+  clusters across every registered mode, reproducibly, and export their
+  sampling metadata in the (version 2) JSON document.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    cifar10_workload,
+    gpu_cluster_configs,
+)
+from repro.core.reporting import load_result_json, result_to_dict, save_result_json
+from repro.core.runner import ExperimentRunner
+from repro.core.sampling import ClientSampler
+from repro.core.scorer import CosineSimilarityScorer, MultiKRUMScorer
+from repro.ml.tensor_utils import RunningWeightedAverage, average_weights
+from repro.simnet.faults import FaultPlan
+
+
+# ------------------------------------------------------------------ sampler
+class TestClientSampler:
+    def test_cohorts_are_call_order_independent(self):
+        natural = ClientSampler(population=1000, cohort_size=16, seed=3)
+        shuffled = ClientSampler(population=1000, cohort_size=16, seed=3)
+        forward = {r: natural.cohort(r) for r in range(1, 6)}
+        for r in (5, 3, 1, 4, 2):
+            assert shuffled.cohort(r) == forward[r]
+
+    def test_cohorts_are_memoised_and_well_formed(self):
+        sampler = ClientSampler(population=100, cohort_size=10, seed=0)
+        cohort = sampler.cohort(2)
+        assert sampler.cohort(2) is cohort
+        assert len(cohort) == 10
+        assert len(set(cohort)) == 10
+        assert list(cohort) == sorted(cohort)
+        assert all(0 <= i < 100 for i in cohort)
+
+    def test_different_seeds_draw_different_cohorts(self):
+        a = ClientSampler(population=10_000, cohort_size=32, seed=0)
+        b = ClientSampler(population=10_000, cohort_size=32, seed=1)
+        assert any(a.cohort(r) != b.cohort(r) for r in range(1, 4))
+
+    def test_different_rounds_draw_different_cohorts(self):
+        sampler = ClientSampler(population=10_000, cohort_size=32, seed=0)
+        assert sampler.cohort(1) != sampler.cohort(2)
+
+    def test_rejects_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            ClientSampler(population=0, cohort_size=1, seed=0)
+        with pytest.raises(ValueError):
+            ClientSampler(population=10, cohort_size=11, seed=0)
+        with pytest.raises(ValueError):
+            ClientSampler(population=10, cohort_size=0, seed=0)
+        with pytest.raises(ValueError):
+            ClientSampler(population=10, cohort_size=5, seed=0).cohort(0)
+
+    def test_cohort_draws_do_not_shift_the_churn_stream(self):
+        """Interleaving cohort draws must not move a single churn variate."""
+        clusters = [f"agg{i}" for i in range(6)]
+        baseline_plan = FaultPlan(seed=7, churn_rate=0.4)
+        baseline = {
+            (c, r): baseline_plan.cluster_offline(c, r)
+            for c in clusters
+            for r in range(1, 8)
+        }
+        interleaved_plan = FaultPlan(seed=7, churn_rate=0.4)
+        sampler = ClientSampler(population=5000, cohort_size=64, seed=7)
+        for r in range(1, 8):
+            sampler.cohort(r)  # the draw the churn stream must not feel
+            for c in clusters:
+                assert interleaved_plan.cluster_offline(c, r) == baseline[(c, r)]
+
+
+# ------------------------------------------------- streaming aggregation
+def _random_weight_sets(rng, contributors, dtypes=(np.float32, np.float64)):
+    shapes = [(4, 3), (7,), (2, 2, 2)]
+    sets = []
+    for _ in range(contributors):
+        sets.append(
+            [
+                (rng.standard_normal(shape) * 3).astype(dtype)
+                for shape, dtype in zip(shapes, list(dtypes) * 2)
+            ]
+        )
+    return sets
+
+
+class TestRunningWeightedAverage:
+    def test_exact_mode_is_bit_identical_to_average_weights(self):
+        rng = np.random.default_rng(11)
+        for contributors in (1, 2, 5, 9):
+            sets = _random_weight_sets(rng, contributors)
+            coefficients = [float(c) for c in rng.integers(1, 50, size=contributors)]
+            accumulator = RunningWeightedAverage()
+            for weights, coefficient in zip(sets, coefficients):
+                accumulator.add(weights, coefficient)
+            expected = average_weights(sets, coefficients)
+            produced = accumulator.finalize()
+            assert len(produced) == len(expected)
+            for got, want in zip(produced, expected):
+                assert got.dtype == want.dtype
+                assert np.array_equal(got, want)
+
+    def test_exact_mode_unweighted_matches_plain_average(self):
+        rng = np.random.default_rng(5)
+        sets = _random_weight_sets(rng, 4)
+        accumulator = RunningWeightedAverage()
+        for weights in sets:
+            accumulator.add(weights)
+        expected = average_weights(sets)
+        for got, want in zip(accumulator.finalize(), expected):
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want)
+
+    def test_streaming_mode_matches_a_scalar_reference(self):
+        rng = np.random.default_rng(23)
+        sets = _random_weight_sets(rng, 6)
+        coefficients = [float(c) for c in rng.integers(1, 20, size=6)]
+        accumulator = RunningWeightedAverage(exact=False)
+        for weights, coefficient in zip(sets, coefficients):
+            accumulator.add(weights, coefficient)
+        produced = accumulator.finalize()
+        exact = average_weights(sets, coefficients)
+        total = sum(coefficients)
+        for layer in range(len(sets[0])):
+            reference = sum(
+                np.asarray(sets[i][layer], dtype=np.float64) * coefficients[i]
+                for i in range(len(sets))
+            ) / total
+            assert np.allclose(produced[layer], reference, rtol=1e-6, atol=1e-7)
+            # Streaming keeps the promotion rule of the stacked contraction.
+            assert produced[layer].dtype == exact[layer].dtype
+
+    def test_streaming_mode_promotes_integer_layers(self):
+        accumulator = RunningWeightedAverage(exact=False)
+        accumulator.add([np.array([2, 4], dtype=np.int64)])
+        accumulator.add([np.array([4, 8], dtype=np.int64)])
+        (layer,) = accumulator.finalize()
+        exact = average_weights([[np.array([2, 4], dtype=np.int64)], [np.array([4, 8], dtype=np.int64)]])
+        assert layer.dtype == exact[0].dtype
+        assert np.allclose(layer, [3.0, 6.0])
+
+    def test_error_paths(self):
+        accumulator = RunningWeightedAverage()
+        with pytest.raises(ValueError):
+            accumulator.finalize()
+        with pytest.raises(ValueError):
+            accumulator.add([np.ones(3)], coefficient=-1.0)
+        streaming = RunningWeightedAverage(exact=False)
+        streaming.add([np.ones(3)], coefficient=0.0)
+        with pytest.raises(ValueError):
+            streaming.finalize()
+
+
+# ------------------------------------------------------ vectorised scoring
+def _random_round(rng, n, scale=1.0):
+    shapes = [(5, 2), (3,), (2, 4)]
+    return {
+        f"cid{i:03d}": [
+            (rng.standard_normal(shape) * scale).astype(
+                np.float32 if i % 2 else np.float64
+            )
+            for shape in shapes
+        ]
+        for i in range(n)
+    }
+
+
+class TestVectorisedScorers:
+    @pytest.mark.parametrize("tolerance", [0, 1, 3])
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 16])
+    def test_multikrum_exactly_matches_the_reference(self, n, tolerance):
+        rng = np.random.default_rng(n * 31 + tolerance)
+        scorer = MultiKRUMScorer(byzantine_tolerance=tolerance)
+        round_weights = _random_round(rng, n)
+        fast = scorer.score_round(round_weights)
+        slow = scorer.score_round_reference(round_weights)
+        assert fast.keys() == slow.keys()
+        for cid in fast:
+            assert fast[cid] == slow[cid]
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 16])
+    def test_cosine_exactly_matches_the_reference(self, n):
+        rng = np.random.default_rng(n * 13)
+        scorer = CosineSimilarityScorer()
+        round_weights = _random_round(rng, n)
+        fast = scorer.score_round(round_weights)
+        slow = scorer.score_round_reference(round_weights)
+        assert fast.keys() == slow.keys()
+        for cid in fast:
+            assert fast[cid] == slow[cid]
+
+    def test_equality_holds_with_an_outlier_model(self):
+        rng = np.random.default_rng(99)
+        round_weights = _random_round(rng, 6)
+        round_weights["cid_outlier"] = [
+            (w * -40.0).astype(w.dtype) for w in round_weights["cid000"]
+        ]
+        for scorer in (MultiKRUMScorer(byzantine_tolerance=1), CosineSimilarityScorer()):
+            fast = scorer.score_round(round_weights)
+            slow = scorer.score_round_reference(round_weights)
+            for cid in fast:
+                assert fast[cid] == slow[cid]
+            # The outlier must rank strictly below every honest model.
+            honest_floor = min(v for c, v in fast.items() if c != "cid_outlier")
+            assert fast["cid_outlier"] < honest_floor
+
+    def test_score_memoises_the_round_analysis(self):
+        calls = {"count": 0}
+
+        class CountingScorer(MultiKRUMScorer):
+            def score_round(self, round_weights):
+                calls["count"] += 1
+                return super().score_round(round_weights)
+
+        rng = np.random.default_rng(1)
+        round_weights = _random_round(rng, 8)
+        scorer = CountingScorer()
+        for cid, weights in round_weights.items():
+            scorer.score(weights, context={"round_weights": round_weights, "cid": cid})
+        assert calls["count"] == 1
+
+        # A different round (different CID set) recomputes exactly once.
+        next_round = {f"next{i}": w for i, (_, w) in enumerate(round_weights.items())}
+        for cid, weights in next_round.items():
+            scorer.score(weights, context={"round_weights": next_round, "cid": cid})
+        assert calls["count"] == 2
+
+
+# ------------------------------------------------------ sampled experiments
+def _sampled_config(mode, population=30, cohort=5, rounds=2, seed=0, **overrides):
+    kwargs = dict(
+        name=f"sampled-{mode}",
+        workload=cifar10_workload(rounds=rounds, samples_per_class=8, image_size=8),
+        clusters=gpu_cluster_configs(num_clusters=3, num_clients=2),
+        mode=mode,
+        rounds=rounds,
+        seed=seed,
+        event_streams=True,
+        storage_replicas=2,
+        population=population,
+        clients_per_round=cohort,
+    )
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+class TestSampledExperiments:
+    @pytest.mark.parametrize("mode", ["sync", "async", "semi", "hierarchical", "gossip"])
+    def test_every_mode_runs_sampled_and_materialises_o_cohort(self, mode):
+        config = _sampled_config(mode)
+        runner = ExperimentRunner(config)
+        result = runner.run()
+        materialized = int(result.sampling["materialized_clusters"])
+        assert materialized == len(runner.aggregators)
+        # At most one fresh cohort per round, never the population.
+        assert materialized <= config.clients_per_round * config.rounds
+        assert materialized < config.population
+        assert result.sampling["population"] == float(config.population)
+        assert result.sampling["clients_per_round"] == float(config.clients_per_round)
+        assert all(a.history for a in result.aggregators)
+
+    def test_sampled_runs_are_reproducible(self):
+        first = ExperimentRunner(_sampled_config("sync")).run()
+        second = ExperimentRunner(_sampled_config("sync")).run()
+        assert result_to_dict(first) == result_to_dict(second)
+
+    def test_sampling_seed_changes_the_cohorts_only_when_set(self):
+        default = ExperimentRunner(_sampled_config("sync")).run()
+        reseeded = ExperimentRunner(_sampled_config("sync", sampling_seed=99)).run()
+        assert {a.name for a in default.aggregators} != {a.name for a in reseeded.aggregators}
+
+    def test_sample_fraction_sets_the_cohort_size(self):
+        config = _sampled_config("sync")
+        fractional = ExperimentConfig(
+            **{
+                **{f.name: getattr(config, f.name) for f in config.__dataclass_fields__.values()},
+                "clients_per_round": None,
+                "sample_fraction": 0.2,
+            }
+        )
+        assert fractional.cohort_size == 6
+        result = ExperimentRunner(fractional).run()
+        assert result.sampling["clients_per_round"] == 6.0
+
+    def test_json_export_carries_sampling_keys_and_schema_2(self, tmp_path):
+        result = ExperimentRunner(_sampled_config("sync")).run()
+        path = save_result_json(result, tmp_path / "sampled.json")
+        document = load_result_json(path)
+        assert document["schema_version"] == 2
+        sampling = document["sampling"]
+        assert sampling["population"] == 30.0
+        assert sampling["clients_per_round"] == 5.0
+        assert sampling["materialized_clusters"] >= 5.0
+
+    def test_non_sampled_export_stays_version_1_without_sampling_block(self, tmp_path):
+        config = ExperimentConfig(
+            name="classic",
+            workload=cifar10_workload(rounds=1, samples_per_class=8, image_size=8),
+            clusters=gpu_cluster_configs(num_clusters=2, num_clients=2),
+            mode="sync",
+            rounds=1,
+        )
+        result = ExperimentRunner(config).run()
+        document = load_result_json(save_result_json(result, tmp_path / "classic.json"))
+        assert document["schema_version"] == 1
+        assert "sampling" not in document
+
+
+class TestSamplingConfigValidation:
+    def _base(self, **overrides):
+        kwargs = dict(
+            name="validation",
+            workload=cifar10_workload(rounds=1, samples_per_class=8, image_size=8),
+            clusters=gpu_cluster_configs(num_clusters=2, num_clients=2),
+            rounds=1,
+        )
+        kwargs.update(overrides)
+        return ExperimentConfig(**kwargs)
+
+    def test_sampling_knobs_require_population(self):
+        with pytest.raises(ValueError):
+            self._base(clients_per_round=8)
+        with pytest.raises(ValueError):
+            self._base(sample_fraction=0.1)
+        with pytest.raises(ValueError):
+            self._base(sampling_seed=1)
+
+    def test_population_needs_exactly_one_cohort_knob(self):
+        with pytest.raises(ValueError):
+            self._base(population=100)
+        with pytest.raises(ValueError):
+            self._base(population=100, clients_per_round=8, sample_fraction=0.1)
+
+    def test_cohort_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            self._base(population=100, clients_per_round=101)
+        with pytest.raises(ValueError):
+            self._base(population=100, sample_fraction=1.5)
+        config = self._base(population=100, clients_per_round=8)
+        assert config.has_sampling
+        assert config.cohort_size == 8
